@@ -1,0 +1,332 @@
+(* msc — Multiscalar task-selection reproduction driver.
+
+   Subcommands:
+     list        show the workload suite
+     run         compile + simulate one workload on one configuration
+     breakdown   like run, but prints the full Figure-2 phase breakdown
+     dump        print the CFG and the task partition of a workload
+     run-file    parse a textual IR program (see Ir.Parse) and simulate it
+     export      print a workload in the textual IR format
+     dot         emit a Graphviz CFG coloured by task
+     superscalar simulate on the centralised superscalar reference machine
+     table1      regenerate the paper's Table 1
+     figure5     regenerate the paper's Figure 5 *)
+
+open Cmdliner
+
+let level_conv =
+  let parse s =
+    match s with
+    | "bb" | "basic-block" -> Ok Core.Heuristics.Basic_block
+    | "cf" | "control-flow" -> Ok Core.Heuristics.Control_flow
+    | "dd" | "data-dependence" -> Ok Core.Heuristics.Data_dependence
+    | "ts" | "task-size" -> Ok Core.Heuristics.Task_size
+    | _ -> Error (`Msg (Printf.sprintf "unknown heuristic level %S" s))
+  in
+  let print ppf l = Format.pp_print_string ppf (Core.Heuristics.level_name l) in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  let doc = "Workload name (see $(b,msc list))." in
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc)
+
+let level_arg =
+  let doc = "Task-selection heuristic: bb, cf, dd or ts." in
+  Arg.(value & opt level_conv Core.Heuristics.Data_dependence
+       & info [ "l"; "level" ] ~doc)
+
+let pus_arg =
+  let doc = "Number of processing units." in
+  Arg.(value & opt int 8 & info [ "p"; "pus" ] ~doc)
+
+let in_order_arg =
+  let doc = "Use in-order PUs (default: out-of-order)." in
+  Arg.(value & flag & info [ "in-order" ] ~doc)
+
+let optimize_arg =
+  let doc = "Run the classical optimisation pipeline first." in
+  Arg.(value & flag & info [ "optimize" ] ~doc)
+
+let if_convert_arg =
+  let doc = "Run the if-conversion (predication) extension first." in
+  Arg.(value & flag & info [ "if-convert" ] ~doc)
+
+let schedule_arg =
+  let doc = "Run register-communication scheduling." in
+  Arg.(value & flag & info [ "schedule" ] ~doc)
+
+let suite_of = function
+  | None -> Workloads.Suite.all
+  | Some names ->
+    List.map Workloads.Suite.find (String.split_on_char ',' names)
+
+let workloads_filter =
+  let doc = "Comma-separated subset of workloads (default: all)." in
+  Arg.(value & opt (some string) None & info [ "only" ] ~doc)
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %-4s %s\n" e.Workloads.Registry.name
+          (Workloads.Registry.kind_name e.Workloads.Registry.kind)
+          e.Workloads.Registry.description)
+      Workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the workload suite")
+    Term.(const run $ const ())
+
+(* --- run / breakdown ----------------------------------------------------- *)
+
+let simulate ?(optimize = false) ?(if_convert = false) ?(schedule = false)
+    name level pus in_order =
+  let entry = Workloads.Suite.find name in
+  let prog = entry.Workloads.Registry.build () in
+  let plan =
+    Core.Partition.build ~optimize ~if_convert ~schedule level prog
+  in
+  let cfg = Sim.Config.default ~num_pus:pus ~in_order in
+  let r = Sim.Engine.run cfg plan in
+  (entry, r.Sim.Engine.stats)
+
+let run_cmd =
+  let run name level pus in_order optimize if_convert schedule =
+    let _, s = simulate ~optimize ~if_convert ~schedule name level pus in_order in
+    Printf.printf "%s %s %dPU %s: IPC %.3f (%d insns / %d cycles), %d tasks\n"
+      name
+      (Core.Heuristics.level_name level)
+      pus
+      (if in_order then "in-order" else "out-of-order")
+      (Sim.Stats.ipc s) s.Sim.Stats.dyn_insns s.Sim.Stats.cycles
+      s.Sim.Stats.tasks;
+    Printf.printf
+      "task size %.1f, ct/task %.2f, task mispred %.2f%%, window span %.0f\n"
+      (Sim.Stats.avg_task_size s)
+      (Sim.Stats.avg_ct_per_task s)
+      (Sim.Stats.task_mispredict_rate s)
+      (Sim.Stats.measured_window_span s)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate one workload")
+    Term.(const run $ workload_arg $ level_arg $ pus_arg $ in_order_arg
+          $ optimize_arg $ if_convert_arg $ schedule_arg)
+
+let breakdown_cmd =
+  let run name level pus in_order =
+    let _, s = simulate name level pus in_order in
+    Format.printf "%a@." Sim.Stats.pp s
+  in
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:"Simulate and print the Figure-2 phase breakdown")
+    Term.(const run $ workload_arg $ level_arg $ pus_arg $ in_order_arg)
+
+(* --- dump ---------------------------------------------------------------- *)
+
+let dump_cmd =
+  let run name level =
+    let entry = Workloads.Suite.find name in
+    let prog = entry.Workloads.Registry.build () in
+    let plan = Core.Partition.build level prog in
+    Format.printf "%a@." Ir.Prog.pp plan.Core.Partition.prog;
+    Ir.Prog.Smap.iter
+      (fun _ part -> Format.printf "%a@." Core.Task.pp part)
+      plan.Core.Partition.parts
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Print the CFG and task partition")
+    Term.(const run $ workload_arg $ level_arg)
+
+(* --- file-based programs ------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_file_cmd =
+  let path_arg =
+    let doc = "Path to a textual IR program (see Ir.Parse)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run path level pus in_order =
+    match Ir.Parse.program (read_file path) with
+    | Error e ->
+      Printf.eprintf "parse error: %s
+" e;
+      exit 1
+    | Ok prog ->
+      let plan = Core.Partition.build level prog in
+      let cfg = Sim.Config.default ~num_pus:pus ~in_order in
+      let r = Sim.Engine.run cfg plan in
+      let s = r.Sim.Engine.stats in
+      Printf.printf "%s %s %dPU: IPC %.3f (%d insns / %d cycles)
+" path
+        (Core.Heuristics.level_name level)
+        pus (Sim.Stats.ipc s) s.Sim.Stats.dyn_insns s.Sim.Stats.cycles
+  in
+  Cmd.v
+    (Cmd.info "run-file" ~doc:"Parse a textual IR program and simulate it")
+    Term.(const run $ path_arg $ level_arg $ pus_arg $ in_order_arg)
+
+let export_cmd =
+  let run name =
+    let entry = Workloads.Suite.find name in
+    print_string (Ir.Pp.program_text (entry.Workloads.Registry.build ()))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Print a workload as parseable textual IR (see run-file)")
+    Term.(const run $ workload_arg)
+
+let dot_cmd =
+  let fname_arg =
+    let doc = "Function to draw (default: main)." in
+    Arg.(value & opt string "main" & info [ "f"; "function" ] ~doc)
+  in
+  let run name level fname =
+    let entry = Workloads.Suite.find name in
+    let prog = entry.Workloads.Registry.build () in
+    let plan = Core.Partition.build level prog in
+    let f = Ir.Prog.find plan.Core.Partition.prog fname in
+    let part = Ir.Prog.Smap.find fname plan.Core.Partition.parts in
+    let partition blk =
+      (* colour by the first task containing the block *)
+      let found = ref 0 in
+      Array.iteri
+        (fun i (t : Core.Task.t) ->
+          if !found = 0 && Core.Task.Iset.mem blk t.Core.Task.blocks then
+            found := i)
+        part.Core.Task.tasks;
+      !found
+    in
+    print_string (Ir.Pp.dot_of_func ~partition f)
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Emit a Graphviz CFG of a workload function, coloured by task")
+    Term.(const run $ workload_arg $ level_arg $ fname_arg)
+
+let superscalar_cmd =
+  let width_arg =
+    let doc = "Issue width of the superscalar machine." in
+    Arg.(value & opt int 4 & info [ "width" ] ~doc)
+  in
+  let rob_arg =
+    let doc = "Reorder-buffer size." in
+    Arg.(value & opt int 64 & info [ "rob" ] ~doc)
+  in
+  let run name width rob =
+    let entry = Workloads.Suite.find name in
+    let prog = entry.Workloads.Registry.build () in
+    let outcome = Interp.Run.execute prog in
+    let cfg =
+      {
+        (Sim.Config.default ~num_pus:1 ~in_order:false) with
+        Sim.Config.issue_width = width;
+        rob_size = rob;
+        iq_size = max 8 (rob / 2);
+        fu_int = width;
+        fu_fp = max 1 (width / 2);
+        fu_mem = max 1 (width / 2);
+        fu_branch = max 1 (width / 2);
+      }
+    in
+    let r = Sim.Superscalar.run cfg outcome.Interp.Run.trace in
+    Printf.printf
+      "%s superscalar %d-wide/ROB %d: IPC %.3f, avg window %.1f, branch        mispredict %.2f%%
+"
+      name width rob
+      (Sim.Stats.ipc r.Sim.Superscalar.stats)
+      r.Sim.Superscalar.avg_window
+      (Sim.Stats.branch_mispredict_rate r.Sim.Superscalar.stats)
+  in
+  Cmd.v
+    (Cmd.info "superscalar"
+       ~doc:"Simulate a workload on the centralised superscalar reference")
+    Term.(const run $ workload_arg $ width_arg $ rob_arg)
+
+let timeline_cmd =
+  let count_arg =
+    let doc = "Number of dynamic tasks to show." in
+    Arg.(value & opt int 32 & info [ "n" ] ~doc)
+  in
+  let skip_arg =
+    let doc = "Skip this many dynamic tasks first (past the warm-up)." in
+    Arg.(value & opt int 200 & info [ "skip" ] ~doc)
+  in
+  let run name level pus in_order n skip =
+    let entry = Workloads.Suite.find name in
+    let prog = entry.Workloads.Registry.build () in
+    let plan = Core.Partition.build level prog in
+    let cfg = Sim.Config.default ~num_pus:pus ~in_order in
+    let base = ref (-1) in
+    Printf.printf "%6s %3s %-24s %8s %8s %8s %s
+" "task" "pu" "entry"
+      "assign" "done" "retire" "flags";
+    let observer (e : Sim.Engine.event) =
+      if e.Sim.Engine.e_index >= skip && e.Sim.Engine.e_index < skip + n then begin
+        if !base < 0 then base := e.Sim.Engine.e_assign;
+        let inst = e.Sim.Engine.e_instance in
+        let fname =
+          (Ir.Prog.func_names plan.Core.Partition.prog |> fun names ->
+           List.nth names inst.Sim.Dyntask.fid)
+        in
+        let part = Ir.Prog.Smap.find fname plan.Core.Partition.parts in
+        let entry_blk =
+          part.Core.Task.tasks.(inst.Sim.Dyntask.task).Core.Task.entry
+        in
+        Printf.printf "%6d %3d %-24s %8d %8d %8d %s%s
+"
+          e.Sim.Engine.e_index e.Sim.Engine.e_pu
+          (Printf.sprintf "%s/L%d (%d insns)" fname entry_blk
+             inst.Sim.Dyntask.size)
+          (e.Sim.Engine.e_assign - !base)
+          (e.Sim.Engine.e_complete - !base)
+          (e.Sim.Engine.e_retire - !base)
+          (if e.Sim.Engine.e_mispredicted then "MISPRED " else "")
+          (if e.Sim.Engine.e_violations > 0 then
+             Printf.sprintf "VIOLx%d" e.Sim.Engine.e_violations
+           else "")
+      end
+    in
+    ignore (Sim.Engine.run ~observer cfg plan)
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Print the schedule of a window of dynamic tasks")
+    Term.(const run $ workload_arg $ level_arg $ pus_arg $ in_order_arg
+          $ count_arg $ skip_arg)
+
+(* --- table1 / figure5 ---------------------------------------------------- *)
+
+let table1_cmd =
+  let run only =
+    let rows = Report.Table1.run (suite_of only) in
+    Format.printf "%a@." Report.Table1.pp rows
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1")
+    Term.(const run $ workloads_filter)
+
+let figure5_cmd =
+  let run only =
+    let rows = Report.Figure5.run (suite_of only) in
+    Format.printf "%a@." Report.Figure5.pp rows
+  in
+  Cmd.v (Cmd.info "figure5" ~doc:"Regenerate the paper's Figure 5")
+    Term.(const run $ workloads_filter)
+
+let main =
+  let info =
+    Cmd.info "msc"
+      ~doc:"Multiscalar task selection (Sohi & Vijaykumar, MICRO-31) reproduction"
+  in
+  Cmd.group info
+    [
+      list_cmd; run_cmd; breakdown_cmd; dump_cmd; table1_cmd; figure5_cmd;
+      run_file_cmd; export_cmd; dot_cmd; superscalar_cmd; timeline_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,197 @@
+module Regset = Set.Make (Int)
+
+type site = {
+  blk : Ir.Block.label;
+  idx : int;
+  reg : Ir.Reg.t;
+}
+
+let all_regs =
+  Regset.of_list (List.init Ir.Reg.count (fun i -> i))
+
+let term_uses = function
+  | Ir.Block.Br (c, _, _) | Ir.Block.Switch (c, _, _) -> [ c ]
+  | Ir.Block.Call (_, _) ->
+    List.init Ir.Reg.max_args (fun i -> Ir.Reg.arg i)
+  | Ir.Block.Jump _ | Ir.Block.Ret | Ir.Block.Halt -> []
+
+let term_defs = function
+  | Ir.Block.Call (_, _) -> [ Ir.Reg.rv ]
+  | Ir.Block.Jump _ | Ir.Block.Br _ | Ir.Block.Switch _ | Ir.Block.Ret
+  | Ir.Block.Halt -> []
+
+(* --- liveness ----------------------------------------------------------- *)
+
+type liveness = {
+  live_in : Regset.t array;
+  live_out : Regset.t array;
+}
+
+let block_use_def ~call_uses (b : Ir.Block.t) =
+  (* use = registers read before any write in the block *)
+  let use = ref Regset.empty in
+  let def = ref Regset.empty in
+  let step uses defs =
+    List.iter
+      (fun r -> if not (Regset.mem r !def) then use := Regset.add r !use)
+      uses;
+    List.iter (fun r -> def := Regset.add r !def) defs
+  in
+  Array.iter (fun i -> step (Ir.Insn.uses i) (Ir.Insn.defs i)) b.Ir.Block.insns;
+  (match b.Ir.Block.term with
+  | Ir.Block.Call (_, _) ->
+    step (Regset.elements call_uses) (term_defs b.Ir.Block.term)
+  | Ir.Block.Jump _ | Ir.Block.Br _ | Ir.Block.Switch _ | Ir.Block.Ret
+  | Ir.Block.Halt ->
+    step (term_uses b.Ir.Block.term) (term_defs b.Ir.Block.term));
+  (!use, !def)
+
+let default_call_uses =
+  Regset.of_list (List.init Ir.Reg.max_args (fun i -> Ir.Reg.arg i))
+
+let liveness ?(exit_live = all_regs) ?(call_uses = default_call_uses) f =
+  let n = Ir.Func.num_blocks f in
+  let use = Array.make n Regset.empty in
+  let def = Array.make n Regset.empty in
+  for l = 0 to n - 1 do
+    let u, d = block_use_def ~call_uses (Ir.Func.block f l) in
+    use.(l) <- u;
+    def.(l) <- d
+  done;
+  let live_in = Array.make n Regset.empty in
+  let live_out = Array.make n Regset.empty in
+  let exits l =
+    match (Ir.Func.block f l).Ir.Block.term with
+    | Ir.Block.Ret | Ir.Block.Halt -> true
+    | Ir.Block.Jump _ | Ir.Block.Br _ | Ir.Block.Switch _ | Ir.Block.Call _ ->
+      false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for l = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Regset.union acc live_in.(s))
+          (if exits l then exit_live else Regset.empty)
+          (Ir.Func.successors f l)
+      in
+      let inn = Regset.union use.(l) (Regset.diff out def.(l)) in
+      if not (Regset.equal out live_out.(l) && Regset.equal inn live_in.(l))
+      then begin
+        live_out.(l) <- out;
+        live_in.(l) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }
+
+(* --- reaching definitions / def-use chains ------------------------------ *)
+
+module Iset = Set.Make (Int)
+
+type defuse = {
+  sites : site array;
+  pairs : (site * site) list;
+}
+
+let def_use f =
+  let n = Ir.Func.num_blocks f in
+  (* enumerate definition sites *)
+  let sites = ref [] in
+  let count = ref 0 in
+  for l = 0 to n - 1 do
+    let b = Ir.Func.block f l in
+    Array.iteri
+      (fun idx insn ->
+        List.iter
+          (fun reg ->
+            sites := { blk = l; idx; reg } :: !sites;
+            incr count)
+          (Ir.Insn.defs insn))
+      b.Ir.Block.insns;
+    List.iter
+      (fun reg ->
+        sites :=
+          { blk = l; idx = Array.length b.Ir.Block.insns; reg } :: !sites;
+        incr count)
+      (term_defs b.Ir.Block.term)
+  done;
+  let sites = Array.of_list (List.rev !sites) in
+  let site_ids_by_reg = Array.make Ir.Reg.count [] in
+  Array.iteri
+    (fun id s -> site_ids_by_reg.(s.reg) <- id :: site_ids_by_reg.(s.reg))
+    sites;
+  (* gen/kill per block: gen = last def of each register; kill = every def of
+     a register the block writes *)
+  let gen = Array.make n Iset.empty in
+  let kill = Array.make n Iset.empty in
+  let last_def_in_block = Hashtbl.create 64 in
+  Array.iteri
+    (fun id s ->
+      Hashtbl.replace last_def_in_block (s.blk, s.reg) id)
+    sites;
+  Array.iteri
+    (fun id s ->
+      if Hashtbl.find last_def_in_block (s.blk, s.reg) = id then
+        gen.(s.blk) <- Iset.add id gen.(s.blk);
+      kill.(s.blk) <-
+        List.fold_left
+          (fun acc other -> if sites.(other).blk <> s.blk then Iset.add other acc else acc)
+          kill.(s.blk) site_ids_by_reg.(s.reg))
+    sites;
+  let in_ = Array.make n Iset.empty in
+  let out = Array.make n Iset.empty in
+  let preds = Ir.Func.predecessors f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for l = 0 to n - 1 do
+      let inn =
+        List.fold_left (fun acc p -> Iset.union acc out.(p)) Iset.empty preds.(l)
+      in
+      let o = Iset.union gen.(l) (Iset.diff inn kill.(l)) in
+      if not (Iset.equal inn in_.(l) && Iset.equal o out.(l)) then begin
+        in_.(l) <- inn;
+        out.(l) <- o;
+        changed := true
+      end
+    done
+  done;
+  (* walk each block, resolving uses against local defs or in-set *)
+  let pairs = ref [] in
+  for l = 0 to n - 1 do
+    let b = Ir.Func.block f l in
+    let local : (Ir.Reg.t, site) Hashtbl.t = Hashtbl.create 16 in
+    let resolve_use idx reg =
+      if reg <> Ir.Reg.zero then begin
+        let use_site = { blk = l; idx; reg } in
+        match Hashtbl.find_opt local reg with
+        | Some def_site -> pairs := (def_site, use_site) :: !pairs
+        | None ->
+          Iset.iter
+            (fun id ->
+              if sites.(id).reg = reg then
+                pairs := (sites.(id), use_site) :: !pairs)
+            in_.(l)
+      end
+    in
+    let record_def idx reg = Hashtbl.replace local reg { blk = l; idx; reg } in
+    Array.iteri
+      (fun idx insn ->
+        List.iter (resolve_use idx) (Ir.Insn.uses insn);
+        List.iter (record_def idx) (Ir.Insn.defs insn))
+      b.Ir.Block.insns;
+    let tidx = Array.length b.Ir.Block.insns in
+    List.iter (resolve_use tidx) (term_uses b.Ir.Block.term)
+  done;
+  { sites; pairs = !pairs }
+
+let block_dep_edges du =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (d, u) ->
+      if d.blk <> u.blk then Hashtbl.replace tbl (d.blk, u.blk, d.reg) ())
+    du.pairs;
+  List.sort compare (Hashtbl.fold (fun (a, b, r) () acc -> (a, b, r) :: acc) tbl [])

@@ -1,0 +1,27 @@
+type t = {
+  pre : int array;
+  post : int array;
+  rpo : Ir.Block.label array;
+}
+
+let compute f =
+  let n = Ir.Func.num_blocks f in
+  let pre = Array.make n (-1) in
+  let post = Array.make n (-1) in
+  let pre_counter = ref 0 in
+  let post_counter = ref 0 in
+  let post_order = ref [] in
+  let rec visit l =
+    if pre.(l) = -1 then begin
+      pre.(l) <- !pre_counter;
+      incr pre_counter;
+      List.iter visit (Ir.Func.successors f l);
+      post.(l) <- !post_counter;
+      incr post_counter;
+      post_order := l :: !post_order
+    end
+  in
+  visit Ir.Func.entry;
+  { pre; post; rpo = Array.of_list !post_order }
+
+let is_retreating t ~src ~dst = t.post.(dst) >= t.post.(src)

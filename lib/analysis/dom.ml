@@ -1,0 +1,39 @@
+type t = { idom : int array }
+
+let compute f =
+  let n = Ir.Func.num_blocks f in
+  let dfs = Dfs.compute f in
+  let preds = Ir.Func.predecessors f in
+  let idom = Array.make n (-1) in
+  idom.(Ir.Func.entry) <- Ir.Func.entry;
+  (* intersect in terms of postorder numbers: walk up until meet *)
+  let rec intersect a b =
+    if a = b then a
+    else if dfs.Dfs.post.(a) < dfs.Dfs.post.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        if l <> Ir.Func.entry then begin
+          let processed =
+            List.filter (fun p -> idom.(p) <> -1) preds.(l)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(l) <> new_idom then begin
+              idom.(l) <- new_idom;
+              changed := true
+            end
+        end)
+      dfs.Dfs.rpo
+  done;
+  { idom }
+
+let dominates t a b =
+  let rec climb x = if x = a then true else if t.idom.(x) = x || t.idom.(x) = -1 then false else climb t.idom.(x) in
+  if t.idom.(b) = -1 then false else climb b

@@ -1,0 +1,12 @@
+(** Dominator tree (Cooper–Harvey–Kennedy iterative algorithm). *)
+
+type t = {
+  idom : int array;
+      (** immediate dominator per block; the entry's idom is itself;
+          -1 for unreachable blocks *)
+}
+
+val compute : Ir.Func.t -> t
+
+val dominates : t -> Ir.Block.label -> Ir.Block.label -> bool
+(** [dominates t a b] — does [a] dominate [b] (reflexively)? *)

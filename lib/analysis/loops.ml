@@ -1,0 +1,84 @@
+type loop = {
+  header : Ir.Block.label;
+  blocks : Ir.Block.label list;
+  latches : Ir.Block.label list;
+  static_size : int;
+}
+
+type t = {
+  loops : loop list;
+  is_header : bool array;
+  is_latch : bool array;
+  innermost : int array;
+}
+
+module Imap = Map.Make (Int)
+
+let natural_loop f preds ~header ~latch =
+  (* header plus everything reaching latch without passing header *)
+  let in_loop = Hashtbl.create 16 in
+  Hashtbl.replace in_loop header ();
+  let rec add l =
+    if not (Hashtbl.mem in_loop l) then begin
+      Hashtbl.replace in_loop l ();
+      List.iter add preds.(l)
+    end
+  in
+  add latch;
+  let _ = f in
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) in_loop [])
+
+let compute f =
+  let n = Ir.Func.num_blocks f in
+  let dom = Dom.compute f in
+  let preds = Ir.Func.predecessors f in
+  (* back edges: l -> h with h dominating l *)
+  let back_edges = ref [] in
+  for l = 0 to n - 1 do
+    List.iter
+      (fun s -> if Dom.dominates dom s l then back_edges := (l, s) :: !back_edges)
+      (Ir.Func.successors f l)
+  done;
+  (* group by header *)
+  let by_header =
+    List.fold_left
+      (fun m (latch, header) ->
+        let latches = try Imap.find header m with Not_found -> [] in
+        Imap.add header (latch :: latches) m)
+      Imap.empty !back_edges
+  in
+  let loops =
+    Imap.fold
+      (fun header latches acc ->
+        let blocks =
+          List.fold_left
+            (fun bs latch ->
+              List.sort_uniq compare
+                (bs @ natural_loop f preds ~header ~latch))
+            [] latches
+        in
+        let static_size =
+          List.fold_left
+            (fun acc l -> acc + Ir.Block.size (Ir.Func.block f l))
+            0 blocks
+        in
+        { header; blocks; latches; static_size } :: acc)
+      by_header []
+  in
+  (* order loops by size so that assigning innermost in decreasing-size order
+     leaves the smallest (innermost) loop as the final owner *)
+  let loops =
+    List.sort (fun a b -> compare (List.length b.blocks) (List.length a.blocks)) loops
+  in
+  let is_header = Array.make n false in
+  let is_latch = Array.make n false in
+  let innermost = Array.make n (-1) in
+  List.iteri
+    (fun i lo ->
+      is_header.(lo.header) <- true;
+      List.iter (fun l -> is_latch.(l) <- true) lo.latches;
+      List.iter (fun l -> innermost.(l) <- i) lo.blocks)
+    loops;
+  { loops; is_header; is_latch; innermost }
+
+let crosses_boundary t ~src ~dst = t.innermost.(src) <> t.innermost.(dst)

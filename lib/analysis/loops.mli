@@ -1,0 +1,32 @@
+(** Natural loops.
+
+    A back edge [latch -> header] (where [header] dominates [latch]) defines
+    the natural loop: [header] plus all blocks that reach [latch] without
+    passing through [header].  Loops with the same header are merged.
+
+    The task-selection heuristics need to know, per block, whether it is a
+    loop header or a loop end (latch), and, per edge, whether it enters or
+    leaves a loop (paper §3.2: "Entry into loops, exit out of loops and
+    function calls always terminate tasks"). *)
+
+type loop = {
+  header : Ir.Block.label;
+  blocks : Ir.Block.label list;   (** includes the header; sorted *)
+  latches : Ir.Block.label list;  (** sources of back edges *)
+  static_size : int;              (** static instructions in the loop body *)
+}
+
+type t = {
+  loops : loop list;
+  is_header : bool array;
+  is_latch : bool array;
+  innermost : int array;
+      (** index into [loops] of the innermost loop containing each block,
+          or -1 *)
+}
+
+val compute : Ir.Func.t -> t
+
+val crosses_boundary : t -> src:Ir.Block.label -> dst:Ir.Block.label -> bool
+(** Does the edge enter or exit some loop (its innermost-loop membership
+    differs)? *)

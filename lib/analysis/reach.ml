@@ -1,0 +1,36 @@
+let forward f start =
+  let n = Ir.Func.num_blocks f in
+  let seen = Array.make n false in
+  let rec visit l =
+    if not seen.(l) then begin
+      seen.(l) <- true;
+      List.iter visit (Ir.Func.successors f l)
+    end
+  in
+  visit start;
+  seen
+
+let backward f target =
+  let n = Ir.Func.num_blocks f in
+  let preds = Ir.Func.predecessors f in
+  let seen = Array.make n false in
+  let rec visit l =
+    if not seen.(l) then begin
+      seen.(l) <- true;
+      List.iter visit preds.(l)
+    end
+  in
+  visit target;
+  seen
+
+let codependent_set f ~producer ~consumer =
+  let fwd = forward f producer in
+  if not fwd.(consumer) then []
+  else begin
+    let bwd = backward f consumer in
+    let acc = ref [] in
+    for l = Ir.Func.num_blocks f - 1 downto 0 do
+      if fwd.(l) && bwd.(l) then acc := l :: !acc
+    done;
+    !acc
+  end

@@ -1,0 +1,15 @@
+(** Reachability helpers used by the data-dependence heuristic's codependent
+    sets: "the set of basic blocks in all the control flow paths from the
+    producer to the consumer" (paper §3.4). *)
+
+val forward : Ir.Func.t -> Ir.Block.label -> bool array
+(** Blocks reachable from the given block (inclusive). *)
+
+val backward : Ir.Func.t -> Ir.Block.label -> bool array
+(** Blocks from which the given block is reachable (inclusive). *)
+
+val codependent_set :
+  Ir.Func.t -> producer:Ir.Block.label -> consumer:Ir.Block.label ->
+  Ir.Block.label list
+(** Blocks lying on some path producer → consumer (both included); empty if
+    the consumer is unreachable from the producer. *)

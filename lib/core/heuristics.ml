@@ -1,0 +1,23 @@
+type level =
+  | Basic_block
+  | Control_flow
+  | Data_dependence
+  | Task_size
+
+let all_levels = [ Basic_block; Control_flow; Data_dependence; Task_size ]
+
+let level_name = function
+  | Basic_block -> "basic-block"
+  | Control_flow -> "control-flow"
+  | Data_dependence -> "data-dependence"
+  | Task_size -> "task-size"
+
+type params = {
+  max_targets : int;
+  loop_thresh : int;
+  call_thresh : int;
+  max_task_blocks : int;
+}
+
+let default =
+  { max_targets = 4; loop_thresh = 30; call_thresh = 30; max_task_blocks = 512 }

@@ -1,0 +1,31 @@
+(** Task-selection heuristic levels and tunables (paper §3).
+
+    The four levels match the four bars of the paper's Figure 5; each level
+    includes the previous ones, exactly as in the evaluation:
+    - [Basic_block]: every basic block is a task;
+    - [Control_flow]: multi-block tasks bounded to [max_targets] successors,
+      exploiting control-flow reconvergence (§3.3);
+    - [Data_dependence]: additionally steer growth along profiled def-use
+      chains (§3.4), applied on top of the control-flow heuristic;
+    - [Task_size]: additionally unroll short loops and include short function
+      calls (§3.2), applied on top of both. *)
+
+type level =
+  | Basic_block
+  | Control_flow
+  | Data_dependence
+  | Task_size
+
+val all_levels : level list
+val level_name : level -> string
+
+type params = {
+  max_targets : int;   (** N successors trackable by hardware (paper: 4) *)
+  loop_thresh : int;   (** unroll loops below this static size (paper: 30) *)
+  call_thresh : int;   (** include calls below this dynamic size (paper: 30) *)
+  max_task_blocks : int;
+      (** safety cap on blocks explored per task, far above anything the
+          heuristics produce on sensible CFGs *)
+}
+
+val default : params

@@ -1,0 +1,120 @@
+type plan = {
+  level : Heuristics.level;
+  params : Heuristics.params;
+  prog : Ir.Prog.t;
+  parts : Task.partition Ir.Prog.Smap.t;
+}
+
+let dep_edges_of_profile profile ~fid f =
+  let static = Analysis.Dataflow.block_dep_edges (Analysis.Dataflow.def_use f) in
+  let edges =
+    List.map
+      (fun (u, v, r) ->
+        {
+          Select.producer = u;
+          consumer = v;
+          reg = r;
+          freq = Interp.Profile.dep_count profile fid u v r;
+        })
+      static
+  in
+  List.sort (fun a b -> compare b.Select.freq a.Select.freq) edges
+
+(* Cap on dependences considered per function, keeping codependent-set
+   computation cheap; the tail is low-frequency and barely steers anything. *)
+let max_deps = 64
+
+let build ?(params = Heuristics.default) ?(optimize = false)
+    ?(if_convert = false) ?(schedule = false) ?profile_input level prog =
+  (* cross-input profiling: run every profiling interpretation on a program
+     built from the *training* input, transformed by exactly the same
+     (structure-only, deterministic) passes as the evaluated program, so
+     block labels and function names coincide *)
+  let transform_front p =
+    let p = if optimize then Opt.Pipeline.run p else p in
+    if if_convert then Transform.if_convert_program p else p
+  in
+  let prog = transform_front prog in
+  let prof_prog =
+    match profile_input with
+    | Some p -> transform_front p
+    | None -> prog
+  in
+  (* unrolling (task-size level only) runs before induction hoisting: a
+     counted-unrolled group already has its induction coalesced at the top,
+     while hoisting handles the remaining loops *)
+  let (prog, prof_prog), included_of =
+    match level with
+    | Heuristics.Task_size ->
+      let outcome = Interp.Run.execute prof_prog in
+      let profile = outcome.Interp.Run.profile in
+      let trace = outcome.Interp.Run.trace in
+      let callee_size name =
+        match Interp.Trace.fid trace name with
+        | fid -> Interp.Profile.avg_invocation_size profile fid
+        | exception Not_found -> infinity
+      in
+      let prog = Transform.unroll_program params prog in
+      let prof_prog =
+        match profile_input with
+        | Some _ -> Transform.unroll_program params prof_prog
+        | None -> prog
+      in
+      ( (prog, prof_prog),
+        fun f ->
+          Transform.mark_included_calls
+            ~call_thresh:params.Heuristics.call_thresh ~callee_size f )
+    | Heuristics.Basic_block | Heuristics.Control_flow
+    | Heuristics.Data_dependence ->
+      ((prog, prof_prog), fun f -> Array.make (Ir.Func.num_blocks f) false)
+  in
+  (* induction hoisting is part of the base compilation at every level *)
+  let prog = Transform.hoist_program prog in
+  let prog = if schedule then Transform.schedule_communication prog else prog in
+  let prof_prog =
+    match profile_input with
+    | Some _ ->
+      let p = Transform.hoist_program prof_prog in
+      if schedule then Transform.schedule_communication p else p
+    | None -> prog
+  in
+  let profile_for_deps =
+    match level with
+    | Heuristics.Data_dependence | Heuristics.Task_size ->
+      let outcome = Interp.Run.execute prof_prog in
+      Some (outcome.Interp.Run.profile, outcome.Interp.Run.trace)
+    | Heuristics.Basic_block | Heuristics.Control_flow -> None
+  in
+  let select name f =
+    match level with
+    | Heuristics.Basic_block -> Select.basic_block f
+    | Heuristics.Control_flow ->
+      Select.control_flow params f ~included_calls:(included_of f)
+    | Heuristics.Data_dependence | Heuristics.Task_size ->
+      let deps =
+        match profile_for_deps with
+        | Some (profile, trace) ->
+          let fid =
+            match Interp.Trace.fid trace name with
+            | fid -> fid
+            | exception Not_found -> -1
+          in
+          if fid = -1 then []
+          else begin
+            let all = dep_edges_of_profile profile ~fid f in
+            List.filteri (fun i _ -> i < max_deps) all
+          end
+        | None -> []
+      in
+      Select.data_dependence params f ~included_calls:(included_of f) ~deps
+  in
+  let parts = Ir.Prog.Smap.mapi select prog.Ir.Prog.funcs in
+  { level; params; prog; parts }
+
+let validate plan =
+  Ir.Prog.Smap.fold
+    (fun name part acc ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> Task.validate (Ir.Prog.find plan.prog name) part)
+    plan.parts (Ok ())

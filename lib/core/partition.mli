@@ -1,0 +1,44 @@
+(** Whole-program task selection: the paper's [task_selection()] driver.
+
+    Builds, for a given heuristic level, the transformed program and a closed
+    per-function partition.  Profiling (for dependence frequencies and callee
+    sizes) is done by running the interpreter on the program itself, playing
+    the role of the paper's SPEC95 profiling runs. *)
+
+type plan = {
+  level : Heuristics.level;
+  params : Heuristics.params;
+  prog : Ir.Prog.t;   (** program after this level's transformations *)
+  parts : Task.partition Ir.Prog.Smap.t;  (** per-function partitions *)
+}
+
+val build :
+  ?params:Heuristics.params -> ?optimize:bool -> ?if_convert:bool ->
+  ?schedule:bool -> ?profile_input:Ir.Prog.t -> Heuristics.level ->
+  Ir.Prog.t -> plan
+(** Induction-variable hoisting is applied at every level (it is part of the
+    paper's base Multiscalar compilation); loop unrolling and call inclusion
+    only at [Task_size].  [if_convert] (default false) additionally runs the
+    predication extension ({!Transform.if_convert_program}) first;
+    [schedule] (default false) runs block-local register-communication
+    scheduling ({!Transform.schedule_communication}) after the other
+    transforms — largely subsumed by induction hoisting and the hardware's
+    per-path release points in practice; [optimize] (default false) runs the
+    classical {!Opt.Pipeline} (const/copy propagation, CSE, peephole, DCE)
+    first, as the paper's gcc -O2 binaries imply.
+
+    [profile_input] supplies a *training* program (same structure, different
+    data — e.g. {!Workloads.Registry.build_alt} on the workload side): all
+    profiling runs use it instead of the evaluated program, enabling
+    cross-input studies of the profile-driven heuristics.  The paper
+    profiles with the evaluation inputs; this option measures how much that
+    choice matters. *)
+
+val validate : plan -> (unit, string) result
+
+val dep_edges_of_profile :
+  Interp.Profile.t -> fid:int -> Ir.Func.t -> Select.dep_edge list
+(** Cross-block register dependences of one function, with profiled dynamic
+    frequencies, sorted by decreasing frequency (§3.4: "prioritize the
+    dependences using the execution frequency").  Dependences that never
+    occurred dynamically but exist statically get frequency 0. *)

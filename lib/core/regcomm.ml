@@ -1,0 +1,133 @@
+module Iset = Task.Iset
+
+module Regset = Analysis.Dataflow.Regset
+
+type task_info = {
+  (* registers some successor may read before writing: the complement is
+     dead traffic the compiler's release bits never send *)
+  needed_out : Regset.t;
+  (* last write index of each register per block; the block's included-call
+     terminator registers as a write of every register at index [length
+     insns] *)
+  last_write : (Ir.Block.label * Ir.Reg.t, int) Hashtbl.t;
+  writes : (Ir.Block.label, Analysis.Dataflow.Regset.t) Hashtbl.t;
+  strict_reach : (Ir.Block.label, Iset.t) Hashtbl.t;
+}
+
+type t = { infos : task_info array }
+
+let all_regs = Regset.of_list (List.init Ir.Reg.count (fun i -> i))
+
+let block_writes f ~included_calls b =
+  let blk = Ir.Func.block f b in
+  let regs = ref Analysis.Dataflow.Regset.empty in
+  Array.iter
+    (fun insn ->
+      List.iter
+        (fun r -> regs := Analysis.Dataflow.Regset.add r !regs)
+        (Ir.Insn.defs insn))
+    blk.Ir.Block.insns;
+  (match blk.Ir.Block.term with
+  | Ir.Block.Call (_, _) when included_calls.(b) ->
+    for r = 0 to Ir.Reg.count - 1 do
+      regs := Analysis.Dataflow.Regset.add r !regs
+    done
+  | Ir.Block.Call (_, _) | Ir.Block.Jump _ | Ir.Block.Br _ | Ir.Block.Switch _
+  | Ir.Block.Ret | Ir.Block.Halt -> ());
+  !regs
+
+(* interprocedurally sound liveness: callees may read any register *)
+let sound_liveness f = Analysis.Dataflow.liveness ~call_uses:all_regs f
+
+let task_info f lv part (task : Task.t) =
+  let included_calls = part.Task.included_calls in
+  let needed_out =
+    if task.Task.has_ret || task.Task.calls_out <> [] then all_regs
+    else
+      List.fold_left
+        (fun acc target ->
+          Regset.union acc lv.Analysis.Dataflow.live_in.(target))
+        Regset.empty task.Task.targets
+  in
+  let last_write = Hashtbl.create 32 in
+  let writes = Hashtbl.create 8 in
+  let strict_reach = Hashtbl.create 8 in
+  Iset.iter
+    (fun b ->
+      let blk = Ir.Func.block f b in
+      Array.iteri
+        (fun idx insn ->
+          List.iter (fun r -> Hashtbl.replace last_write (b, r) idx)
+            (Ir.Insn.defs insn))
+        blk.Ir.Block.insns;
+      (match blk.Ir.Block.term with
+      | Ir.Block.Call (_, _) when included_calls.(b) ->
+        let tidx = Array.length blk.Ir.Block.insns in
+        for r = 0 to Ir.Reg.count - 1 do
+          Hashtbl.replace last_write (b, r) tidx
+        done
+      | Ir.Block.Call (_, _) | Ir.Block.Jump _ | Ir.Block.Br _
+      | Ir.Block.Switch _ | Ir.Block.Ret | Ir.Block.Halt -> ());
+      Hashtbl.replace writes b (block_writes f ~included_calls b))
+    task.Task.blocks;
+  (* strict reachability inside the task (edges to the entry end the task
+     and do not continue) *)
+  Iset.iter
+    (fun b ->
+      let seen = ref Iset.empty in
+      let rec visit x =
+        List.iter
+          (fun s ->
+            if not (Iset.mem s !seen) then begin
+              seen := Iset.add s !seen;
+              visit s
+            end)
+          (Task.intra_successors f ~included_calls ~entry:task.Task.entry
+             task.Task.blocks x)
+      in
+      visit b;
+      Hashtbl.replace strict_reach b !seen)
+    task.Task.blocks;
+  { needed_out; last_write; writes; strict_reach }
+
+let create f part =
+  let lv = sound_liveness f in
+  { infos = Array.map (task_info f lv part) part.Task.tasks }
+
+let needed t ~task ~reg =
+  if task < 0 || task >= Array.length t.infos then true
+  else Regset.mem reg t.infos.(task).needed_out
+
+let may_rewrite t ~task ~blk ~reg =
+  if task < 0 || task >= Array.length t.infos then true
+  else begin
+    let info = t.infos.(task) in
+    let writes_reg b =
+      match Hashtbl.find_opt info.writes b with
+      | Some ws -> Analysis.Dataflow.Regset.mem reg ws
+      | None -> false
+    in
+    match Hashtbl.find_opt info.strict_reach blk with
+    | None -> true
+    | Some reach -> writes_reg blk || Iset.exists writes_reg reach
+  end
+
+let forwardable t ~task ~blk ~idx ~reg =
+  if task < 0 || task >= Array.length t.infos then false
+  else begin
+    let info = t.infos.(task) in
+    match Hashtbl.find_opt info.last_write (blk, reg) with
+    | None -> false
+    | Some last ->
+      idx = last
+      && (match Hashtbl.find_opt info.strict_reach blk with
+         | None -> false
+         | Some reach ->
+           not
+             (Iset.exists
+                (fun b' ->
+                  match Hashtbl.find_opt info.writes b' with
+                  | Some ws -> Analysis.Dataflow.Regset.mem reg ws
+                  | None -> false)
+                reach))
+  end

@@ -1,0 +1,42 @@
+type t = {
+  block_freq : (int * Ir.Block.label, int) Hashtbl.t;
+  edge_freq : (int * Ir.Block.label * Ir.Block.label, int) Hashtbl.t;
+  dep_freq : (int * Ir.Block.label * Ir.Block.label * Ir.Reg.t, int) Hashtbl.t;
+  mutable invocations : (int, int) Hashtbl.t;
+  mutable inclusive_insns : (int, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    block_freq = Hashtbl.create 256;
+    edge_freq = Hashtbl.create 256;
+    dep_freq = Hashtbl.create 256;
+    invocations = Hashtbl.create 16;
+    inclusive_insns = Hashtbl.create 16;
+  }
+
+let bump tbl key =
+  let cur = try Hashtbl.find tbl key with Not_found -> 0 in
+  Hashtbl.replace tbl key (cur + 1)
+
+let add tbl key n =
+  let cur = try Hashtbl.find tbl key with Not_found -> 0 in
+  Hashtbl.replace tbl key (cur + n)
+
+let lookup tbl key = try Hashtbl.find tbl key with Not_found -> 0
+
+let block_count t fid blk = lookup t.block_freq (fid, blk)
+let edge_count t fid src dst = lookup t.edge_freq (fid, src, dst)
+let dep_count t fid u v r = lookup t.dep_freq (fid, u, v, r)
+
+let avg_invocation_size t fid =
+  let calls = lookup t.invocations fid in
+  if calls = 0 then infinity
+  else float_of_int (lookup t.inclusive_insns fid) /. float_of_int calls
+
+(* internal helpers used by Run *)
+let bump_block t fid blk = bump t.block_freq (fid, blk)
+let bump_edge t fid src dst = bump t.edge_freq (fid, src, dst)
+let bump_dep t fid u v r = bump t.dep_freq (fid, u, v, r)
+let bump_invocation t fid = bump t.invocations fid
+let add_inclusive t fid n = add t.inclusive_insns fid n

@@ -1,0 +1,25 @@
+(** The IR interpreter.
+
+    Executes a program deterministically, producing the dynamic trace the
+    Multiscalar timing model replays and the profile the task-selection
+    heuristics consume.  This plays the role of the paper's profiling runs
+    and of the functional front half of their simulator. *)
+
+exception Runtime_error of string
+
+type outcome = {
+  trace : Trace.t;
+  profile : Profile.t;
+  steps : int;           (** dynamic instructions executed *)
+  result : Ir.Value.t;   (** contents of [Reg.rv] at termination *)
+}
+
+val execute : ?max_steps:int -> Ir.Prog.t -> outcome
+(** Run [prog] from its [main].  [max_steps] (default 30 million) bounds the
+    dynamic instruction count; exceeding it raises {!Runtime_error}, as do
+    division by zero and out-of-range switch conditions on negative values.
+
+    Loads from never-written memory read integer 0. *)
+
+val initial_sp : int
+(** Initial stack-pointer value given to [main]. *)

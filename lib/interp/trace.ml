@@ -1,0 +1,28 @@
+type event = {
+  fid : int;
+  blk : Ir.Block.label;
+  addrs : int array;
+}
+
+type t = {
+  prog : Ir.Prog.t;
+  fnames : string array;
+  funcs : Ir.Func.t array;
+  events : event array;
+  dyn_insns : int;
+}
+
+let fid t name =
+  let n = Array.length t.fnames in
+  let rec find i =
+    if i >= n then raise Not_found
+    else if String.equal t.fnames.(i) name then i
+    else find (i + 1)
+  in
+  find 0
+
+let block t ev = Ir.Func.block t.funcs.(ev.fid) ev.blk
+
+let event_size t ev = Ir.Block.size (block t ev)
+
+let num_events t = Array.length t.events

@@ -1,0 +1,36 @@
+(** Dynamic execution traces.
+
+    A trace is the exact sequence of basic-block instances the program
+    executed, with the memory addresses each block instance touched.  The
+    Multiscalar timing model replays traces; the paper's simulator is
+    execution-driven, but over a deterministic program the two produce the
+    same dynamic stream (see DESIGN.md, substitutions).
+
+    Function names are interned: a block is identified by [(fid, blk)]. *)
+
+type event = {
+  fid : int;
+  blk : Ir.Block.label;
+  addrs : int array;
+      (** effective address of each memory instruction of the block,
+          in instruction order *)
+}
+
+type t = {
+  prog : Ir.Prog.t;
+  fnames : string array;            (** function name per fid *)
+  funcs : Ir.Func.t array;          (** function body per fid *)
+  events : event array;
+  dyn_insns : int;                  (** total dynamic instruction count *)
+}
+
+val fid : t -> string -> int
+(** @raise Not_found for unknown function names. *)
+
+val block : t -> event -> Ir.Block.t
+(** Static block of an event. *)
+
+val event_size : t -> event -> int
+(** Dynamic instructions contributed by the event (insns + terminator). *)
+
+val num_events : t -> int

@@ -1,0 +1,55 @@
+type label = int
+
+type terminator =
+  | Jump of label
+  | Br of Reg.t * label * label
+  | Switch of Reg.t * label array * label
+  | Call of string * label
+  | Ret
+  | Halt
+
+type t = {
+  label : label;
+  insns : Insn.t array;
+  term : terminator;
+}
+
+let successors b =
+  match b.term with
+  | Jump l -> [ l ]
+  | Br (_, l1, l2) -> if l1 = l2 then [ l1 ] else [ l1; l2 ]
+  | Switch (_, targets, default) ->
+    List.sort_uniq compare (default :: Array.to_list targets)
+  | Call (_, cont) -> [ cont ]
+  | Ret | Halt -> []
+
+let is_branch_term = function
+  | Br (_, _, _) | Switch (_, _, _) -> true
+  | Jump _ | Call (_, _) | Ret | Halt -> false
+
+let num_targets term =
+  match term with
+  | Jump _ | Call (_, _) -> 1
+  | Ret | Halt -> 0
+  | Br (_, l1, l2) -> if l1 = l2 then 1 else 2
+  | Switch (_, targets, default) ->
+    List.length (List.sort_uniq compare (default :: Array.to_list targets))
+
+let size b = Array.length b.insns + 1
+
+let pp_term ppf = function
+  | Jump l -> Format.fprintf ppf "jump L%d" l
+  | Br (c, l1, l2) -> Format.fprintf ppf "br %s, L%d, L%d" (Reg.name c) l1 l2
+  | Switch (c, ts, d) ->
+    Format.fprintf ppf "switch %s, [%s], L%d" (Reg.name c)
+      (String.concat "; "
+         (Array.to_list (Array.map (fun l -> "L" ^ string_of_int l) ts)))
+      d
+  | Call (f, cont) -> Format.fprintf ppf "call %s -> L%d" f cont
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let pp ppf b =
+  Format.fprintf ppf "@[<v 2>L%d:" b.label;
+  Array.iter (fun i -> Format.fprintf ppf "@,%a" Insn.pp i) b.insns;
+  Format.fprintf ppf "@,%a@]" pp_term b.term

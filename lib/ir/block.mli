@@ -1,0 +1,43 @@
+(** Basic blocks and their terminators.
+
+    A block holds straight-line instructions plus exactly one terminator.
+    Within a function, blocks are identified by their index in the function's
+    block array ([label = int]). *)
+
+type label = int
+
+type terminator =
+  | Jump of label
+  | Br of Reg.t * label * label
+      (** [Br (cond, if_true, if_false)]: taken when [cond] is non-zero. *)
+  | Switch of Reg.t * label array * label
+      (** [Switch (idx, targets, default)]: indexed jump; out-of-range values
+          go to [default]. *)
+  | Call of string * label
+      (** [Call (callee, cont)]: call [callee]; execution resumes at block
+          [cont] of the calling function after the callee returns. *)
+  | Ret
+  | Halt
+
+type t = {
+  label : label;
+  insns : Insn.t array;
+  term : terminator;
+}
+
+val successors : t -> label list
+(** Intra-function CFG successors (for [Call] this is the continuation). *)
+
+val is_branch_term : terminator -> bool
+(** True for terminators that are *predicted* control transfers in the
+    timing model: conditional branches and switches. *)
+
+val num_targets : terminator -> int
+(** Number of distinct intra-function successor labels. *)
+
+val size : t -> int
+(** Static instruction count, including the terminator (counted as one
+    control-transfer instruction, except fall-through [Jump]s which real
+    code would not need are still counted as one). *)
+
+val pp : Format.formatter -> t -> unit

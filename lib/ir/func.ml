@@ -1,0 +1,112 @@
+type t = {
+  name : string;
+  blocks : Block.t array;
+}
+
+let entry = 0
+
+let block f l = f.blocks.(l)
+let num_blocks f = Array.length f.blocks
+
+let successors f l = Block.successors f.blocks.(l)
+
+let predecessors f =
+  let preds = Array.make (num_blocks f) [] in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun s -> preds.(s) <- b.Block.label :: preds.(s))
+        (Block.successors b))
+    f.blocks;
+  Array.map List.rev preds
+
+let static_size f =
+  Array.fold_left (fun acc b -> acc + Block.size b) 0 f.blocks
+
+let callees f =
+  let names =
+    Array.fold_left
+      (fun acc b ->
+        match b.Block.term with
+        | Block.Call (callee, _) -> callee :: acc
+        | Block.Jump _ | Block.Br _ | Block.Switch _ | Block.Ret | Block.Halt
+          -> acc)
+      [] f.blocks
+  in
+  List.sort_uniq compare names
+
+let retarget_term map term =
+  match term with
+  | Block.Jump l -> Block.Jump map.(l)
+  | Block.Br (c, l1, l2) -> Block.Br (c, map.(l1), map.(l2))
+  | Block.Switch (c, ts, d) -> Block.Switch (c, Array.map (fun l -> map.(l)) ts, map.(d))
+  | Block.Call (f, cont) -> Block.Call (f, map.(cont))
+  | Block.Ret -> Block.Ret
+  | Block.Halt -> Block.Halt
+
+let drop_unreachable f =
+  let n = num_blocks f in
+  let reachable = Array.make n false in
+  let rec visit l =
+    if not reachable.(l) then begin
+      reachable.(l) <- true;
+      List.iter visit (successors f l)
+    end
+  in
+  if n > 0 then visit entry;
+  let map = Array.make n (-1) in
+  let next = ref 0 in
+  for l = 0 to n - 1 do
+    if reachable.(l) then begin
+      map.(l) <- !next;
+      incr next
+    end
+  done;
+  let blocks =
+    Array.of_list
+      (List.filter_map
+         (fun b ->
+           if reachable.(b.Block.label) then
+             Some
+               {
+                 Block.label = map.(b.Block.label);
+                 insns = b.Block.insns;
+                 term = retarget_term map b.Block.term;
+               }
+           else None)
+         (Array.to_list f.blocks))
+  in
+  { f with blocks }
+
+let validate f =
+  let n = num_blocks f in
+  let ok = ref (Ok ()) in
+  let fail fmt = Format.kasprintf (fun s -> if !ok = Ok () then ok := Error s) fmt in
+  if n = 0 then fail "function %s has no blocks" f.name;
+  Array.iteri
+    (fun i b ->
+      if b.Block.label <> i then
+        fail "function %s: block at index %d has label %d" f.name i
+          b.Block.label;
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then
+            fail "function %s: block %d targets out-of-range label %d" f.name i
+              s)
+        (Block.successors b);
+      Array.iter
+        (fun insn ->
+          List.iter
+            (fun r ->
+              if not (Reg.is_valid r) then
+                fail "function %s: block %d uses invalid register %d" f.name i
+                  r)
+            (Insn.defs insn @ Insn.uses insn))
+        b.Block.insns)
+    f.blocks;
+  !ok
+
+let pp ppf f =
+  Format.fprintf ppf "@[<v 2>func %s (%d blocks):" f.name (num_blocks f);
+  Array.iter (fun b -> Format.fprintf ppf "@,%a" Block.pp b) f.blocks;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,115 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Lt | Le | Eq | Ne | Gt | Ge
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+type fcmp = Flt | Fle | Feq | Fne
+
+type funop = Fneg | Fabs | Fsqrt | Itof | Ftoi
+
+type operand =
+  | Reg of Reg.t
+  | Imm of int
+
+type t =
+  | Nop
+  | Li of Reg.t * int
+  | Lf of Reg.t * float
+  | Mov of Reg.t * Reg.t
+  | Bin of binop * Reg.t * Reg.t * operand
+  | Fbin of fbinop * Reg.t * Reg.t * Reg.t
+  | Fcmp of fcmp * Reg.t * Reg.t * Reg.t
+  | Fun of funop * Reg.t * Reg.t
+  | Load of Reg.t * Reg.t * int
+  | Store of Reg.t * Reg.t * int
+  | Cmov of Reg.t * Reg.t * Reg.t
+
+type fu_class =
+  | Fu_int
+  | Fu_int_mul
+  | Fu_int_div
+  | Fu_fp
+  | Fu_fp_div
+  | Fu_load
+  | Fu_store
+
+let fu_class = function
+  | Nop | Li _ | Lf _ | Mov _ | Cmov _ -> Fu_int
+  | Bin (Mul, _, _, _) -> Fu_int_mul
+  | Bin ((Div | Rem), _, _, _) -> Fu_int_div
+  | Bin (_, _, _, _) -> Fu_int
+  | Fbin (Fdiv, _, _, _) -> Fu_fp_div
+  | Fbin (_, _, _, _) | Fcmp (_, _, _, _) -> Fu_fp
+  | Fun (Fsqrt, _, _) -> Fu_fp_div
+  | Fun (_, _, _) -> Fu_fp
+  | Load (_, _, _) -> Fu_load
+  | Store (_, _, _) -> Fu_store
+
+let defs = function
+  | Nop | Store (_, _, _) -> []
+  | Li (d, _) | Lf (d, _) | Mov (d, _)
+  | Bin (_, d, _, _) | Fbin (_, d, _, _) | Fcmp (_, d, _, _)
+  | Fun (_, d, _) | Load (d, _, _) | Cmov (d, _, _) -> [ d ]
+
+let uses insn =
+  let rs =
+    match insn with
+    | Nop | Li (_, _) | Lf (_, _) -> []
+    | Mov (_, s) | Fun (_, _, s) -> [ s ]
+    | Bin (_, _, s, Reg s2) -> [ s; s2 ]
+    | Bin (_, _, s, Imm _) -> [ s ]
+    | Fbin (_, _, s1, s2) | Fcmp (_, _, s1, s2) -> [ s1; s2 ]
+    | Load (_, base, _) -> [ base ]
+    | Store (src, base, _) -> [ src; base ]
+    | Cmov (d, c, s) -> [ d; c; s ]
+  in
+  List.sort_uniq compare rs
+
+let is_mem = function
+  | Load (_, _, _) | Store (_, _, _) -> true
+  | Nop | Li _ | Lf _ | Mov _ | Bin _ | Fbin _ | Fcmp _ | Fun _ | Cmov _ ->
+    false
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Lt -> "slt" | Le -> "sle" | Eq -> "seq" | Ne -> "sne" | Gt -> "sgt"
+  | Ge -> "sge"
+
+let fbinop_name = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Fmin -> "fmin" | Fmax -> "fmax"
+
+let fcmp_name = function
+  | Flt -> "flt" | Fle -> "fle" | Feq -> "feq" | Fne -> "fne"
+
+let funop_name = function
+  | Fneg -> "fneg" | Fabs -> "fabs" | Fsqrt -> "fsqrt" | Itof -> "itof"
+  | Ftoi -> "ftoi"
+
+let pp_operand ppf = function
+  | Reg r -> Format.pp_print_string ppf (Reg.name r)
+  | Imm n -> Format.fprintf ppf "#%d" n
+
+let pp ppf insn =
+  let r = Reg.name in
+  match insn with
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Li (d, n) -> Format.fprintf ppf "li %s, %d" (r d) n
+  | Lf (d, f) -> Format.fprintf ppf "lf %s, %g" (r d) f
+  | Mov (d, s) -> Format.fprintf ppf "mov %s, %s" (r d) (r s)
+  | Bin (op, d, s, o) ->
+    Format.fprintf ppf "%s %s, %s, %a" (binop_name op) (r d) (r s) pp_operand o
+  | Fbin (op, d, s1, s2) ->
+    Format.fprintf ppf "%s %s, %s, %s" (fbinop_name op) (r d) (r s1) (r s2)
+  | Fcmp (op, d, s1, s2) ->
+    Format.fprintf ppf "%s %s, %s, %s" (fcmp_name op) (r d) (r s1) (r s2)
+  | Fun (op, d, s) -> Format.fprintf ppf "%s %s, %s" (funop_name op) (r d) (r s)
+  | Load (d, b, off) -> Format.fprintf ppf "ld %s, %d(%s)" (r d) off (r b)
+  | Store (s, b, off) -> Format.fprintf ppf "st %s, %d(%s)" (r s) off (r b)
+  | Cmov (d, c, s) ->
+    Format.fprintf ppf "cmov %s, %s, %s" (r d) (r c) (r s)
+
+let to_string insn = Format.asprintf "%a" pp insn

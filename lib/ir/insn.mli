@@ -1,0 +1,62 @@
+(** Instructions of the RISC-like IR.
+
+    All instructions are register-to-register; memory is accessed only through
+    [Load] and [Store] with a base register plus constant displacement,
+    mirroring the MIPS-style ISA the paper's compiler targets. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Lt | Le | Eq | Ne | Gt | Ge
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+type fcmp = Flt | Fle | Feq | Fne
+
+type funop = Fneg | Fabs | Fsqrt | Itof | Ftoi
+
+type operand =
+  | Reg of Reg.t
+  | Imm of int
+
+type t =
+  | Nop
+  | Li of Reg.t * int              (** load integer immediate *)
+  | Lf of Reg.t * float            (** load float immediate *)
+  | Mov of Reg.t * Reg.t
+  | Bin of binop * Reg.t * Reg.t * operand
+      (** [Bin (op, dst, src, operand)] *)
+  | Fbin of fbinop * Reg.t * Reg.t * Reg.t
+  | Fcmp of fcmp * Reg.t * Reg.t * Reg.t
+      (** float comparison producing integer 0/1 *)
+  | Fun of funop * Reg.t * Reg.t
+  | Load of Reg.t * Reg.t * int    (** [Load (dst, base, disp)] *)
+  | Store of Reg.t * Reg.t * int   (** [Store (src, base, disp)] *)
+  | Cmov of Reg.t * Reg.t * Reg.t
+      (** [Cmov (dst, cond, src)]: if [cond] is non-zero, [dst := src];
+          otherwise [dst] keeps its value (so [dst] is also a use) —
+          the predication primitive for if-conversion *)
+
+(** Functional-unit class, used by the timing model for structural hazards
+    and latencies. *)
+type fu_class =
+  | Fu_int       (** simple integer ALU op, 1 cycle *)
+  | Fu_int_mul   (** integer multiply *)
+  | Fu_int_div   (** integer divide / remainder *)
+  | Fu_fp        (** pipelined FP add/mul class *)
+  | Fu_fp_div    (** FP divide / sqrt *)
+  | Fu_load
+  | Fu_store
+
+val fu_class : t -> fu_class
+
+val defs : t -> Reg.t list
+(** Registers written.  Writes to [Reg.zero] are reported (the machine
+    discards them; analyses may still see the def). *)
+
+val uses : t -> Reg.t list
+(** Registers read, without duplicates. *)
+
+val is_mem : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

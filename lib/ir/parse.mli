@@ -1,0 +1,32 @@
+(** Textual IR: parsing the format {!Pp.program} prints.
+
+    A program file is a sequence of items ('#' starts a comment, but only
+    at the beginning of a line — elsewhere it marks immediates):
+    {v
+    # comment
+    data 4096 int 1 2 3
+    data 5000 flt 0.5 1.25
+    func main {
+    L0:
+      li t0, 5
+      add t1, t0, #3
+      br t1, L1, L2
+    L1:
+      ret
+    L2:
+      halt
+    }
+    main main
+    v}
+
+    Blocks must be labelled [L0..Ln-1] in order; every function needs at
+    least one block; [main] defaults to ["main"]. *)
+
+val program : string -> (Prog.t, string) result
+(** Parse a whole program from a string.  The result is validated. *)
+
+val insn : string -> (Insn.t, string) result
+(** Parse a single instruction, e.g. ["add t1, t0, #3"]. *)
+
+val reg : string -> (Reg.t, string) result
+(** Parse a register name as printed by {!Reg.name}. *)

@@ -1,0 +1,41 @@
+module Smap = Map.Make (String)
+
+type t = {
+  funcs : Func.t Smap.t;
+  main : string;
+  mem_init : (int * Value.t) list;
+  mem_top : int;
+}
+
+let find p name = Smap.find name p.funcs
+let has_func p name = Smap.mem name p.funcs
+let func_names p = List.map fst (Smap.bindings p.funcs)
+
+let static_size p =
+  Smap.fold (fun _ f acc -> acc + Func.static_size f) p.funcs 0
+
+let map_funcs g p = { p with funcs = Smap.map g p.funcs }
+
+let validate p =
+  let result = ref (Ok ()) in
+  let fail fmt =
+    Format.kasprintf (fun s -> if !result = Ok () then result := Error s) fmt
+  in
+  if not (has_func p p.main) then fail "main function %s missing" p.main;
+  Smap.iter
+    (fun _ f ->
+      (match Func.validate f with
+      | Ok () -> ()
+      | Error e -> fail "%s" e);
+      List.iter
+        (fun callee ->
+          if not (has_func p callee) then
+            fail "function %s calls undefined %s" f.Func.name callee)
+        (Func.callees f))
+    p.funcs;
+  !result
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>program (main = %s)" p.main;
+  Smap.iter (fun _ f -> Format.fprintf ppf "@,%a" Func.pp f) p.funcs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,25 @@
+(** Whole programs: a set of functions, a designated [main], and initial
+    memory contents (the data segment). *)
+
+module Smap : Map.S with type key = string
+
+type t = {
+  funcs : Func.t Smap.t;
+  main : string;
+  mem_init : (int * Value.t) list;  (** initial memory cells *)
+  mem_top : int;  (** first address above the static data segment *)
+}
+
+val find : t -> string -> Func.t
+(** @raise Not_found if the function does not exist. *)
+
+val has_func : t -> string -> bool
+val func_names : t -> string list
+val static_size : t -> int
+
+val map_funcs : (Func.t -> Func.t) -> t -> t
+
+val validate : t -> (unit, string) result
+(** Per-function validation plus: [main] exists, every callee exists. *)
+
+val pp : Format.formatter -> t -> unit

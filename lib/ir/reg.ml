@@ -1,0 +1,27 @@
+type t = int
+
+let zero = 0
+let sp = 1
+let rv = 2
+let max_args = 8
+let first_arg = 4
+let first_tmp = first_arg + max_args
+let count = 64
+
+let arg i =
+  if i < 0 || i >= max_args then invalid_arg "Reg.arg";
+  first_arg + i
+
+let tmp i =
+  if i < 0 || first_tmp + i >= count then invalid_arg "Reg.tmp";
+  first_tmp + i
+
+let is_valid r = r >= 0 && r < count
+
+let name r =
+  if r = zero then "r0"
+  else if r = sp then "sp"
+  else if r = rv then "rv"
+  else if r = 3 then "r3"
+  else if r >= first_arg && r < first_tmp then Printf.sprintf "a%d" (r - first_arg)
+  else Printf.sprintf "t%d" (r - first_tmp)

@@ -1,0 +1,34 @@
+(** Architectural registers of the IR machine.
+
+    The machine has a single unified register file of [count] registers that
+    hold tagged values (integers or floats).  A few registers have fixed
+    conventional roles, mirroring a RISC calling convention:
+
+    - [zero] always reads as integer 0 and ignores writes;
+    - [sp] is the stack pointer, initialised by the loader;
+    - [rv] carries function return values;
+    - [arg i] carries the [i]-th function argument (at most [max_args]);
+    - [tmp i] are general-purpose temporaries managed by the program. *)
+
+type t = int
+
+val zero : t
+val sp : t
+val rv : t
+
+val max_args : int
+
+val arg : int -> t
+(** [arg i] is the register carrying argument [i].
+    @raise Invalid_argument if [i] is outside [0, max_args). *)
+
+val tmp : int -> t
+(** [tmp i] is the [i]-th general-purpose temporary.
+    @raise Invalid_argument if the register index would exceed [count]. *)
+
+val count : int
+(** Total number of architectural registers. *)
+
+val is_valid : t -> bool
+val name : t -> string
+(** Human-readable register name, e.g. ["r0"], ["sp"], ["a2"], ["t13"]. *)

@@ -1,0 +1,29 @@
+type t =
+  | Int of int
+  | Flt of float
+
+let zero = Int 0
+
+let is_true = function
+  | Int n -> n <> 0
+  | Flt f -> f <> 0.0
+
+let to_int = function
+  | Int n -> n
+  | Flt f -> int_of_float f
+
+let to_float = function
+  | Int n -> float_of_int n
+  | Flt f -> f
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Flt x, Flt y -> Float.equal x y
+  | Int _, Flt _ | Flt _, Int _ -> false
+
+let pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Flt f -> Format.fprintf ppf "%h" f
+
+let to_string v = Format.asprintf "%a" pp v

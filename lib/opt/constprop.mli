@@ -1,0 +1,14 @@
+(** Block-local constant and copy propagation with folding.
+
+    Within each basic block, integer/float constants and register copies are
+    tracked; uses are rewritten to their root values, foldable operations
+    become immediate loads, conditional moves with known conditions become
+    plain moves (or disappear), and terminators with known conditions are
+    folded into unconditional jumps (later cleaned by
+    {!Ir.Func.drop_unreachable}).
+
+    Divisions are never folded when the divisor is zero (the runtime error
+    must be preserved). *)
+
+val run_func : Ir.Func.t -> Ir.Func.t
+val run : Ir.Prog.t -> Ir.Prog.t

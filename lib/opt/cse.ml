@@ -1,0 +1,73 @@
+(* expression keys: operands are (register, version) pairs so that
+   redefinitions invalidate entries structurally *)
+type operand_v = int * int (* reg, version *)
+
+type key =
+  | Kbin of Ir.Insn.binop * operand_v * (operand_v, int) Either.t
+  | Kfbin of Ir.Insn.fbinop * operand_v * operand_v
+  | Kfcmp of Ir.Insn.fcmp * operand_v * operand_v
+  | Kfun of Ir.Insn.funop * operand_v
+  | Kload of operand_v * int * int  (* base, displacement, memory version *)
+
+let run_block (b : Ir.Block.t) =
+  let version = Array.make Ir.Reg.count 0 in
+  let mem_version = ref 0 in
+  let table : (key, Ir.Reg.t * int) Hashtbl.t = Hashtbl.create 16 in
+  (* value = (holding register, its version at record time) *)
+  let v r = (r, version.(r)) in
+  let bump r = if r <> Ir.Reg.zero then version.(r) <- version.(r) + 1 in
+  let lookup key =
+    match Hashtbl.find_opt table key with
+    | Some (r, ver) when version.(r) = ver -> Some r
+    | Some _ | None -> None
+  in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  Array.iter
+    (fun insn ->
+      let key =
+        match insn with
+        | Ir.Insn.Bin (op, _, s, Ir.Insn.Reg o) ->
+          Some (Kbin (op, v s, Either.Left (v o)))
+        | Ir.Insn.Bin (op, _, s, Ir.Insn.Imm n) ->
+          Some (Kbin (op, v s, Either.Right n))
+        | Ir.Insn.Fbin (op, _, s1, s2) -> Some (Kfbin (op, v s1, v s2))
+        | Ir.Insn.Fcmp (op, _, s1, s2) -> Some (Kfcmp (op, v s1, v s2))
+        | Ir.Insn.Fun (op, _, s) -> Some (Kfun (op, v s))
+        | Ir.Insn.Load (_, base, off) ->
+          Some (Kload (v base, off, !mem_version))
+        | Ir.Insn.Nop | Ir.Insn.Li _ | Ir.Insn.Lf _ | Ir.Insn.Mov _
+        | Ir.Insn.Store _ | Ir.Insn.Cmov _ -> None
+      in
+      let replaced =
+        match (key, Ir.Insn.defs insn) with
+        | Some k, [ d ] when d <> Ir.Reg.zero -> (
+          match lookup k with
+          | Some r when r <> d ->
+            emit (Ir.Insn.Mov (d, r));
+            bump d;
+            true
+          | Some _ -> (* same register already holds it: drop *)
+            true
+          | None -> false)
+        | _, _ -> false
+      in
+      if not replaced then begin
+        (match insn with
+        | Ir.Insn.Store (_, _, _) -> incr mem_version
+        | _ -> ());
+        emit insn;
+        List.iter bump (Ir.Insn.defs insn);
+        (* record after bumping so the entry's version is current *)
+        match (key, Ir.Insn.defs insn) with
+        | Some k, [ d ] when d <> Ir.Reg.zero ->
+          Hashtbl.replace table k (d, version.(d))
+        | _, _ -> ()
+      end)
+    b.Ir.Block.insns;
+  { b with Ir.Block.insns = Array.of_list (List.rev !out) }
+
+let run_func f =
+  { f with Ir.Func.blocks = Array.map run_block f.Ir.Func.blocks }
+
+let run p = Ir.Prog.map_funcs run_func p

@@ -1,0 +1,9 @@
+(** Block-local common-subexpression elimination.
+
+    Pure computations repeated within a block with the same (still-valid)
+    operands are replaced by register moves from the first result.  Loads
+    participate with a memory version number that every store bumps, so a
+    reload after any store is never eliminated. *)
+
+val run_func : Ir.Func.t -> Ir.Func.t
+val run : Ir.Prog.t -> Ir.Prog.t

@@ -1,0 +1,11 @@
+(** Global dead-code elimination.
+
+    Removes pure instructions whose results are never read, using
+    interprocedurally-sound liveness (a callee may read any register, and
+    anything may be read after a return, so "dead" means provably
+    overwritten before every possible read).  Stores are never removed;
+    loads are pure in this machine (no faults) and may be removed when their
+    destination is dead. *)
+
+val run_func : Ir.Func.t -> Ir.Func.t
+val run : Ir.Prog.t -> Ir.Prog.t

@@ -1,0 +1,48 @@
+let log2_opt n =
+  if n <= 0 then None
+  else begin
+    let rec go k v = if v = 1 then Some k else go (k + 1) (v lsr 1) in
+    if n land (n - 1) = 0 then go 0 n else None
+  end
+
+let simplify insn =
+  let open Ir.Insn in
+  match insn with
+  | Bin (Mul, d, s, Imm n) -> (
+    match log2_opt n with
+    | Some 0 -> Some (Mov (d, s))
+    | Some k -> Some (Bin (Shl, d, s, Imm k))
+    | None -> if n = 0 then Some (Li (d, 0)) else None)
+  | Bin (Div, d, s, Imm n) when n > 1 -> (
+    (* only for non-negative ranges can div become shift; be conservative
+       and keep division unless dividing by 1 *)
+    ignore (d, s, n);
+    None)
+  | Bin (Div, d, s, Imm 1) -> Some (Mov (d, s))
+  | Bin (Add, d, s, Imm 0) | Bin (Sub, d, s, Imm 0) | Bin (Shl, d, s, Imm 0)
+  | Bin (Shr, d, s, Imm 0) | Bin (Or, d, s, Imm 0) | Bin (Xor, d, s, Imm 0) ->
+    Some (Mov (d, s))
+  | Bin (And, d, _, Imm 0) -> Some (Li (d, 0))
+  | Bin (Xor, d, s, Reg s') when s = s' -> Some (Li (d, 0))
+  | Bin (Sub, d, s, Reg s') when s = s' -> Some (Li (d, 0))
+  | Mov (d, s) when d = s -> Some Nop
+  | _ -> None
+
+let rec fixpoint insn =
+  match simplify insn with
+  | Some insn' when insn' <> insn -> fixpoint insn'
+  | Some insn' -> insn'
+  | None -> insn
+
+let run_block (b : Ir.Block.t) =
+  let insns =
+    Array.to_list b.Ir.Block.insns
+    |> List.filter_map (fun i ->
+           match fixpoint i with Ir.Insn.Nop -> None | i' -> Some i')
+  in
+  { b with Ir.Block.insns = Array.of_list insns }
+
+let run_func f =
+  { f with Ir.Func.blocks = Array.map run_block f.Ir.Func.blocks }
+
+let run p = Ir.Prog.map_funcs run_func p

@@ -1,0 +1,7 @@
+(** Single-instruction strength reduction and identity simplification:
+    multiplications/divisions by powers of two become shifts, additions of
+    zero become moves, self-moves disappear, and x^x / x-x become zero
+    loads. *)
+
+val run_func : Ir.Func.t -> Ir.Func.t
+val run : Ir.Prog.t -> Ir.Prog.t

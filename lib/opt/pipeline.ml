@@ -1,0 +1,17 @@
+let round p = Dce.run (Peephole.run (Cse.run (Constprop.run p)))
+
+let run ?(rounds = 4) p =
+  let rec go i p =
+    if i >= rounds then p
+    else begin
+      let p' = round p in
+      if Ir.Prog.static_size p' = Ir.Prog.static_size p then p'
+      else go (i + 1) p'
+    end
+  in
+  go 0 p
+
+let static_shrink p =
+  let before = Ir.Prog.static_size p in
+  let after = Ir.Prog.static_size (run p) in
+  float_of_int after /. float_of_int before

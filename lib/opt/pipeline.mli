@@ -1,0 +1,12 @@
+(** The optimisation pipeline: constant/copy propagation + folding, local
+    CSE, peephole simplification and global DCE, iterated to a (bounded)
+    fixpoint — the moral equivalent of the "-O2" the paper's binaries were
+    built with.  Semantics are preserved (checked by the test suite over
+    every workload and by property tests). *)
+
+val run : ?rounds:int -> Ir.Prog.t -> Ir.Prog.t
+(** Default 4 rounds; stops early when a round changes nothing. *)
+
+val static_shrink : Ir.Prog.t -> float
+(** Static instruction count after optimisation relative to before
+    (1.0 = unchanged). *)

@@ -1,0 +1,44 @@
+(* Running the paper's experiments over the workload suite. *)
+
+type run_result = {
+  workload : string;
+  kind : Workloads.Registry.kind;
+  level : Core.Heuristics.level;
+  num_pus : int;
+  in_order : bool;
+  stats : Sim.Stats.t;
+}
+
+let run_one ?params ~level ~num_pus ~in_order entry =
+  let prog = entry.Workloads.Registry.build () in
+  let plan = Core.Partition.build ?params level prog in
+  let cfg = Sim.Config.default ~num_pus ~in_order in
+  let r = Sim.Engine.run cfg plan in
+  {
+    workload = entry.Workloads.Registry.name;
+    kind = entry.Workloads.Registry.kind;
+    level;
+    num_pus;
+    in_order;
+    stats = r.Sim.Engine.stats;
+  }
+
+(* Share the plan and trace across machine configurations of one level. *)
+let run_level_configs ?params ~level ~configs entry =
+  let prog = entry.Workloads.Registry.build () in
+  let plan = Core.Partition.build ?params level prog in
+  let outcome = Interp.Run.execute plan.Core.Partition.prog in
+  let trace = outcome.Interp.Run.trace in
+  List.map
+    (fun (num_pus, in_order) ->
+      let cfg = Sim.Config.default ~num_pus ~in_order in
+      let r = Sim.Engine.run_with_trace cfg plan trace in
+      {
+        workload = entry.Workloads.Registry.name;
+        kind = entry.Workloads.Registry.kind;
+        level;
+        num_pus;
+        in_order;
+        stats = r.Sim.Engine.stats;
+      })
+    configs

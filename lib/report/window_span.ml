@@ -1,0 +1,6 @@
+(* Paper 4.3.4: windowspan = sum_{i=0..N-1} Tasksize * Pred^i *)
+let formula ~task_size ~pred ~num_pus =
+  let rec go i acc p =
+    if i >= num_pus then acc else go (i + 1) (acc +. (task_size *. p)) (p *. pred)
+  in
+  go 0 0.0 1.0

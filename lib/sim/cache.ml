@@ -1,0 +1,97 @@
+type t = {
+  sets : int;
+  ways : int;
+  block_words : int;
+  (* tags.(set).(way); lru.(set).(way) = age, 0 = most recent *)
+  tags : int array array;
+  lru : int array array;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ~sets ~ways ~block_words =
+  {
+    sets;
+    ways;
+    block_words;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    lru = Array.init sets (fun _ -> Array.init ways (fun w -> w));
+    accesses = 0;
+    misses = 0;
+  }
+
+let touch t set way =
+  let age = t.lru.(set).(way) in
+  for w = 0 to t.ways - 1 do
+    if t.lru.(set).(w) < age then t.lru.(set).(w) <- t.lru.(set).(w) + 1
+  done;
+  t.lru.(set).(way) <- 0
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  let block = addr / t.block_words in
+  let set = block mod t.sets in
+  let tag = block / t.sets in
+  let found = ref (-1) in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(set).(w) = tag then found := w
+  done;
+  if !found >= 0 then begin
+    touch t set !found;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for w = 0 to t.ways - 1 do
+      if t.lru.(set).(w) > t.lru.(set).(!victim) then victim := w
+    done;
+    t.tags.(set).(!victim) <- tag;
+    touch t set !victim;
+    false
+  end
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+module Hierarchy = struct
+  type h = {
+    cfg : Config.t;
+    l1d_ : t;
+    l1i_ : t;
+    l2_ : t;
+  }
+
+  let create (cfg : Config.t) =
+    {
+      cfg;
+      l1d_ =
+        create ~sets:cfg.Config.l1_sets ~ways:cfg.Config.l1_ways
+          ~block_words:cfg.Config.l1_block_words;
+      l1i_ =
+        create ~sets:cfg.Config.l1_sets ~ways:cfg.Config.l1_ways
+          ~block_words:cfg.Config.l1_block_words;
+      l2_ =
+        create ~sets:cfg.Config.l2_sets ~ways:cfg.Config.l2_ways
+          ~block_words:cfg.Config.l1_block_words;
+    }
+
+  let through h l1 addr =
+    if access l1 addr then h.cfg.Config.l1_latency
+    else if access h.l2_ addr then
+      h.cfg.Config.l1_latency + h.cfg.Config.l2_latency
+    else
+      h.cfg.Config.l1_latency + h.cfg.Config.l2_latency
+      + h.cfg.Config.mem_latency
+
+  let dload h addr = through h h.l1d_ addr
+
+  let ifetch h addr =
+    let lat = through h h.l1i_ addr in
+    if lat = h.cfg.Config.l1_latency then 0 else lat
+
+  let l1d h = h.l1d_
+  let l1i h = h.l1i_
+  let l2 h = h.l2_
+end

@@ -1,0 +1,31 @@
+(** Set-associative LRU caches and the two-level hierarchy of §4.2. *)
+
+type t
+
+val create : sets:int -> ways:int -> block_words:int -> t
+
+val access : t -> int -> bool
+(** Word-address access; returns hit, updates LRU, fills on miss. *)
+
+val accesses : t -> int
+val misses : t -> int
+
+(** A two-level data/instruction hierarchy; returns access latency. *)
+module Hierarchy : sig
+  type h
+
+  val create : Config.t -> h
+  (** Shares one L2 between the I- and D-side L1s. *)
+
+  val dload : h -> int -> int
+  (** Latency of a data access at the given word address. *)
+
+  val ifetch : h -> int -> int
+  (** Latency of an instruction fetch at the given word address (0 when the
+      line is already resident, i.e. the common hit case costs nothing extra
+      beyond the pipeline's fetch stage). *)
+
+  val l1d : h -> t
+  val l1i : h -> t
+  val l2 : h -> t
+end

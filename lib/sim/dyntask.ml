@@ -1,0 +1,183 @@
+type succ_kind =
+  | Fallthrough of Ir.Block.label
+  | Calls of int
+  | Returns
+  | Program_end
+
+type instance = {
+  fid : int;
+  task : int;
+  first : int;
+  last : int;
+  size : int;
+  ct : int;
+  kind : succ_kind;
+}
+
+exception Not_closed of string
+
+let is_ct = function
+  | Ir.Block.Br _ | Ir.Block.Switch _ | Ir.Block.Call _ | Ir.Block.Ret -> true
+  | Ir.Block.Jump _ | Ir.Block.Halt -> false
+
+let chop (trace : Interp.Trace.t) ~(parts : Core.Task.partition array) =
+  let events = trace.Interp.Trace.events in
+  let n = Array.length events in
+  let fid_of_name = Hashtbl.create 16 in
+  Array.iteri
+    (fun i name -> Hashtbl.replace fid_of_name name i)
+    trace.Interp.Trace.fnames;
+  let instances = ref [] in
+  let count = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let first = !i in
+    let ev0 = events.(first) in
+    let part = parts.(ev0.Interp.Trace.fid) in
+    let task_idx = part.Core.Task.task_of_entry.(ev0.Interp.Trace.blk) in
+    if task_idx = -1 then
+      raise
+        (Not_closed
+           (Printf.sprintf "event %d: block %s/L%d is not a task entry" first
+              trace.Interp.Trace.fnames.(ev0.Interp.Trace.fid)
+              ev0.Interp.Trace.blk));
+    let task = part.Core.Task.tasks.(task_idx) in
+    let size = ref 0 in
+    let ct = ref 0 in
+    let kind = ref Program_end in
+    let j = ref first in
+    let depth = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let ev = events.(!j) in
+      let blk = Interp.Trace.block trace ev in
+      size := !size + Ir.Block.size blk;
+      if is_ct blk.Ir.Block.term then incr ct;
+      let advance () =
+        if !j + 1 < n then begin
+          incr j;
+          true
+        end
+        else begin
+          kind := Program_end;
+          continue_ := false;
+          false
+        end
+      in
+      match blk.Ir.Block.term with
+      | Ir.Block.Call (callee, _) ->
+        let included =
+          !depth > 0
+          || part.Core.Task.included_calls.(ev.Interp.Trace.blk)
+        in
+        if included then begin
+          if advance () then incr depth
+        end
+        else begin
+          (match Hashtbl.find_opt fid_of_name callee with
+          | Some callee_fid -> kind := Calls callee_fid
+          | None ->
+            raise (Not_closed (Printf.sprintf "unknown callee %s" callee)));
+          continue_ := false
+        end
+      | Ir.Block.Ret ->
+        if !depth > 1 then begin
+          if advance () then decr depth
+        end
+        else if !depth = 1 then begin
+          (* returning from an included callee: control resumes at the call
+             continuation, which may or may not be in the task *)
+          if !j + 1 >= n then begin
+            kind := Program_end;
+            continue_ := false
+          end
+          else begin
+            let next = events.(!j + 1) in
+            if
+              next.Interp.Trace.fid = ev0.Interp.Trace.fid
+              && Core.Task.Iset.mem next.Interp.Trace.blk task.Core.Task.blocks
+              && next.Interp.Trace.blk <> task.Core.Task.entry
+            then begin
+              incr j;
+              depth := 0
+            end
+            else begin
+              kind := Fallthrough next.Interp.Trace.blk;
+              continue_ := false
+            end
+          end
+        end
+        else begin
+          if !j + 1 < n then kind := Returns else kind := Program_end;
+          continue_ := false
+        end
+      | Ir.Block.Halt ->
+        kind := Program_end;
+        continue_ := false
+      | Ir.Block.Jump _ | Ir.Block.Br _ | Ir.Block.Switch _ ->
+        if !depth > 0 then ignore (advance ())
+        else if !j + 1 >= n then begin
+          kind := Program_end;
+          continue_ := false
+        end
+        else begin
+          let next = events.(!j + 1) in
+          if
+            next.Interp.Trace.fid = ev.Interp.Trace.fid
+            && Core.Task.Iset.mem next.Interp.Trace.blk task.Core.Task.blocks
+            && next.Interp.Trace.blk <> task.Core.Task.entry
+          then incr j
+          else begin
+            kind := Fallthrough next.Interp.Trace.blk;
+            continue_ := false
+          end
+        end
+    done;
+    instances :=
+      {
+        fid = ev0.Interp.Trace.fid;
+        task = task_idx;
+        first;
+        last = !j;
+        size = !size;
+        ct = !ct;
+        kind = !kind;
+      }
+      :: !instances;
+    incr count;
+    i := !j + 1
+  done;
+  let arr =
+    Array.make !count
+      { fid = 0; task = 0; first = 0; last = 0; size = 0; ct = 0; kind = Program_end }
+  in
+  let rec fill k = function
+    | [] -> ()
+    | inst :: rest ->
+      arr.(k) <- inst;
+      fill (k - 1) rest
+  in
+  fill (!count - 1) !instances;
+  arr
+
+let check_instances trace instances =
+  let n = Interp.Trace.num_events trace in
+  let result = ref (Ok ()) in
+  let fail fmt =
+    Format.kasprintf (fun s -> if !result = Ok () then result := Error s) fmt
+  in
+  let expected = ref 0 in
+  let total_size = ref 0 in
+  Array.iter
+    (fun inst ->
+      if inst.first <> !expected then
+        fail "instance starts at %d, expected %d" inst.first !expected;
+      if inst.last < inst.first then fail "negative instance";
+      expected := inst.last + 1;
+      total_size := !total_size + inst.size)
+    instances;
+  if !expected <> n then fail "instances cover %d of %d events" !expected n;
+  if !total_size <> trace.Interp.Trace.dyn_insns then
+    fail "instance sizes sum to %d, trace has %d" !total_size
+      trace.Interp.Trace.dyn_insns;
+  !result

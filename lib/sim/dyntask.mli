@@ -1,0 +1,35 @@
+(** Chopping a dynamic trace into dynamic task instances (paper §2.2):
+    an instance starts at a task entry and runs until control leaves the
+    task's block set or re-enters the entry; callees of calls marked for
+    inclusion execute inside the running instance. *)
+
+type succ_kind =
+  | Fallthrough of Ir.Block.label
+      (** next instance starts at this (task-entry) block, same function *)
+  | Calls of int  (** next instance is the entry task of this fid *)
+  | Returns       (** next instance is the caller's continuation (via RAS) *)
+  | Program_end
+
+type instance = {
+  fid : int;
+  task : int;             (** task index within the function's partition *)
+  first : int;            (** first trace-event index *)
+  last : int;             (** last trace-event index, inclusive *)
+  size : int;             (** dynamic instructions (terminators included) *)
+  ct : int;               (** dynamic control-transfer instructions
+                              (conditional branches, switches, calls,
+                              returns — not plain jumps) *)
+  kind : succ_kind;
+}
+
+exception Not_closed of string
+(** Raised when the trace enters a block that is no task entry — a partition
+    closure bug. *)
+
+val chop :
+  Interp.Trace.t -> parts:Core.Task.partition array -> instance array
+(** [parts] is indexed by fid. *)
+
+val check_instances :
+  Interp.Trace.t -> instance array -> (unit, string) result
+(** Sanity: instances tile the event range exactly and sizes add up. *)

@@ -1,0 +1,41 @@
+(** The Multiscalar processor simulator.
+
+    Trace-driven: the interpreter's dynamic trace is chopped into dynamic
+    task instances ({!Dyntask}), which are timed in program order.  Timing
+    information only flows from older to younger tasks (operand arrival via
+    the register ring, store forwarding via the ARB), so a single in-order
+    pass computes the same schedule an event-driven simulator would.
+
+    Speculation is modelled by running the real predictors over the true
+    task sequence: a wrong prediction charges the paper's §2.3.2 penalty
+    (the correct successor cannot dispatch before the mispredicting task
+    resolves its exit control flow), and memory-dependence violations squash
+    and re-execute the offending task, inserting the (load, store) pair into
+    the synchronization table as in Moshovos et al. *)
+
+type result = {
+  stats : Stats.t;
+  instances : int;       (** dynamic task instances executed *)
+}
+
+type event = {
+  e_index : int;          (** dynamic task number *)
+  e_instance : Dyntask.instance;
+  e_pu : int;
+  e_assign : int;         (** cycle the sequencer assigned the task *)
+  e_complete : int;       (** last commit inside the PU *)
+  e_retire : int;         (** in-order retirement *)
+  e_mispredicted : bool;  (** the transition INTO this task was mispredicted *)
+  e_violations : int;     (** memory-dependence squash/restarts *)
+}
+
+val run :
+  ?observer:(event -> unit) -> Config.t -> Core.Partition.plan -> result
+(** Interprets [plan.prog], chops, and simulates.  [observer] is called once
+    per dynamic task instance, in program order, with its final schedule. *)
+
+val run_with_trace :
+  ?observer:(event -> unit) -> Config.t -> Core.Partition.plan ->
+  Interp.Trace.t -> result
+(** Reuse an existing trace of [plan.prog] (e.g. across PU counts and issue
+    disciplines of the same heuristic level). *)

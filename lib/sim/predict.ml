@@ -1,0 +1,101 @@
+let mix pc = (pc * 2654435761) land max_int
+
+module Gshare = struct
+  type t = {
+    mask : int;
+    hist_mask : int;
+    mutable hist : int;
+    table : int array;  (* 2-bit counters, initialised weakly taken *)
+  }
+
+  let create (cfg : Config.t) =
+    {
+      mask = cfg.Config.predictor_entries - 1;
+      hist_mask = (1 lsl cfg.Config.predictor_bits) - 1;
+      hist = 0;
+      table = Array.make cfg.Config.predictor_entries 2;
+    }
+
+  let predict_and_update t ~pc ~taken =
+    let idx = (mix pc lxor t.hist) land t.mask in
+    let counter = t.table.(idx) in
+    let predicted = counter >= 2 in
+    let correct = predicted = taken in
+    t.table.(idx) <-
+      (if taken then min 3 (counter + 1) else max 0 (counter - 1));
+    t.hist <- ((t.hist lsl 1) lor (if taken then 1 else 0)) land t.hist_mask;
+    correct
+end
+
+module Target = struct
+  type entry = {
+    mutable counter : int;  (* 2-bit confidence *)
+    mutable target : int;   (* 2-bit target number *)
+  }
+
+  type t = {
+    mask : int;
+    hist_mask : int;
+    use_history : bool;
+    mutable hist : int;
+    table : entry array;
+  }
+
+  let create ?(use_history = true) (cfg : Config.t) =
+    {
+      mask = cfg.Config.predictor_entries - 1;
+      hist_mask = (1 lsl cfg.Config.predictor_bits) - 1;
+      use_history;
+      hist = 0;
+      table =
+        Array.init cfg.Config.predictor_entries (fun _ ->
+            { counter = 0; target = 0 });
+    }
+
+  let predict_and_update t ~pc ~actual =
+    let idx =
+      (if t.use_history then mix pc lxor t.hist else mix pc) land t.mask
+    in
+    let e = t.table.(idx) in
+    let correct = e.target = actual land 3 && actual < 4 in
+    if e.target = actual land 3 then e.counter <- min 3 (e.counter + 1)
+    else if e.counter > 0 then e.counter <- e.counter - 1
+    else e.target <- actual land 3;
+    (* path history: fold the chosen target and the task pc in *)
+    t.hist <- ((t.hist lsl 2) lxor mix pc lxor actual) land t.hist_mask;
+    correct
+end
+
+module Ras = struct
+  type t = {
+    capacity : int;
+    mutable stack : int list;
+    mutable size : int;
+  }
+
+  let create capacity = { capacity; stack = []; size = 0 }
+
+  let push t v =
+    if t.size >= t.capacity then begin
+      (* drop the oldest entry *)
+      let rec drop_last = function
+        | [] | [ _ ] -> []
+        | x :: rest -> x :: drop_last rest
+      in
+      t.stack <- v :: drop_last t.stack
+    end
+    else begin
+      t.stack <- v :: t.stack;
+      t.size <- t.size + 1
+    end
+
+  let pop t =
+    match t.stack with
+    | [] -> None
+    | v :: rest ->
+      t.stack <- rest;
+      t.size <- t.size - 1;
+      Some v
+
+  let depth t = t.size
+end

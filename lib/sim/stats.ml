@@ -1,0 +1,97 @@
+type t = {
+  mutable cycles : int;
+  mutable dyn_insns : int;
+  mutable tasks : int;
+  mutable ct_insns : int;
+  mutable task_predictions : int;
+  mutable task_mispredicts : int;
+  mutable intra_branches : int;
+  mutable intra_branch_mispredicts : int;
+  mutable start_overhead : int;
+  mutable end_overhead : int;
+  mutable inter_task_comm : int;
+  mutable intra_task_dep : int;
+  mutable load_imbalance : int;
+  mutable cf_penalty : int;
+  mutable mem_penalty : int;
+  mutable violations : int;
+  mutable syncs : int;
+  mutable arb_overflows : int;
+  mutable l1d_accesses : int;
+  mutable l1d_misses : int;
+  mutable l1i_accesses : int;
+  mutable l1i_misses : int;
+  mutable l2_accesses : int;
+  mutable l2_misses : int;
+  mutable ring_sends : int;
+  mutable window_span_samples : int;
+  mutable window_span_total : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    dyn_insns = 0;
+    tasks = 0;
+    ct_insns = 0;
+    task_predictions = 0;
+    task_mispredicts = 0;
+    intra_branches = 0;
+    intra_branch_mispredicts = 0;
+    start_overhead = 0;
+    end_overhead = 0;
+    inter_task_comm = 0;
+    intra_task_dep = 0;
+    load_imbalance = 0;
+    cf_penalty = 0;
+    mem_penalty = 0;
+    violations = 0;
+    syncs = 0;
+    arb_overflows = 0;
+    l1d_accesses = 0;
+    l1d_misses = 0;
+    l1i_accesses = 0;
+    l1i_misses = 0;
+    l2_accesses = 0;
+    l2_misses = 0;
+    ring_sends = 0;
+    window_span_samples = 0;
+    window_span_total = 0;
+  }
+
+let ipc t =
+  if t.cycles = 0 then 0.0
+  else float_of_int t.dyn_insns /. float_of_int t.cycles
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let task_mispredict_rate t = pct t.task_mispredicts t.task_predictions
+let branch_mispredict_rate t = pct t.intra_branch_mispredicts t.intra_branches
+
+let avg_task_size t =
+  if t.tasks = 0 then 0.0 else float_of_int t.dyn_insns /. float_of_int t.tasks
+
+let avg_ct_per_task t =
+  if t.tasks = 0 then 0.0 else float_of_int t.ct_insns /. float_of_int t.tasks
+
+let measured_window_span t =
+  if t.window_span_samples = 0 then 0.0
+  else float_of_int t.window_span_total /. float_of_int t.window_span_samples
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles %d, insns %d, tasks %d, IPC %.3f@,\
+     task size %.1f, ct/task %.2f@,\
+     task mispred %.2f%% (%d/%d), intra-branch mispred %.2f%% (%d/%d)@,\
+     violations %d, syncs %d, arb overflows %d@,\
+     L1D %d/%d miss, L1I %d/%d miss, L2 %d/%d miss@,\
+     phases: start %d, end %d, inter-comm %d, intra-dep %d, imbalance %d, \
+     cf-penalty %d, mem-penalty %d@,\
+     measured window span %.1f@]"
+    t.cycles t.dyn_insns t.tasks (ipc t) (avg_task_size t) (avg_ct_per_task t)
+    (task_mispredict_rate t) t.task_mispredicts t.task_predictions
+    (branch_mispredict_rate t) t.intra_branch_mispredicts t.intra_branches
+    t.violations t.syncs t.arb_overflows t.l1d_misses t.l1d_accesses
+    t.l1i_misses t.l1i_accesses t.l2_misses t.l2_accesses t.start_overhead
+    t.end_overhead t.inter_task_comm t.intra_task_dep t.load_imbalance
+    t.cf_penalty t.mem_penalty (measured_window_span t)

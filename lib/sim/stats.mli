@@ -1,0 +1,54 @@
+(** Simulation statistics, following the time-line taxonomy of the paper's
+    Figure 2: useful cycles, task start/end overhead, inter-task
+    communication delay, intra-task dependence delay, load imbalance, and
+    control-flow / memory-dependence misspeculation penalties. *)
+
+type t = {
+  mutable cycles : int;              (** total execution time *)
+  mutable dyn_insns : int;           (** retired dynamic instructions *)
+  mutable tasks : int;               (** retired dynamic tasks *)
+  mutable ct_insns : int;            (** retired control-transfer insns *)
+  (* prediction *)
+  mutable task_predictions : int;
+  mutable task_mispredicts : int;
+  mutable intra_branches : int;
+  mutable intra_branch_mispredicts : int;
+  (* Figure 2 phases, in PU-cycles *)
+  mutable start_overhead : int;
+  mutable end_overhead : int;
+  mutable inter_task_comm : int;
+  mutable intra_task_dep : int;
+  mutable load_imbalance : int;
+  mutable cf_penalty : int;
+  mutable mem_penalty : int;
+  (* memory system *)
+  mutable violations : int;          (** memory-dependence squashes *)
+  mutable syncs : int;               (** loads held back by the sync table *)
+  mutable arb_overflows : int;
+  mutable l1d_accesses : int;
+  mutable l1d_misses : int;
+  mutable l1i_accesses : int;
+  mutable l1i_misses : int;
+  mutable l2_accesses : int;
+  mutable l2_misses : int;
+  (* ring *)
+  mutable ring_sends : int;
+  (* occupancy-weighted window span sample: sum over retired tasks of the
+     dynamic instructions in flight when the task was assigned *)
+  mutable window_span_samples : int;
+  mutable window_span_total : int;
+}
+
+val create : unit -> t
+val ipc : t -> float
+
+val task_mispredict_rate : t -> float
+(** Task misprediction percentage. *)
+
+val branch_mispredict_rate : t -> float
+(** Intra-task gshare misprediction percentage. *)
+
+val avg_task_size : t -> float
+val avg_ct_per_task : t -> float
+val measured_window_span : t -> float
+val pp : Format.formatter -> t -> unit

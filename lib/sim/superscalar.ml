@@ -1,0 +1,213 @@
+type result = {
+  stats : Stats.t;
+  avg_window : float;
+}
+
+type pool = { units : int array }
+
+let make_pool n = { units = Array.make n 0 }
+
+let run (cfg : Config.t) (trace : Interp.Trace.t) =
+  let events = trace.Interp.Trace.events in
+  let n_events = Array.length events in
+  let layout = Layout.create trace.Interp.Trace.funcs in
+  let hier = Cache.Hierarchy.create cfg in
+  let gshare = Predict.Gshare.create cfg in
+  let switch_pred = Predict.Target.create cfg in
+  let stats = Stats.create () in
+  let pool_int = make_pool cfg.Config.fu_int in
+  let pool_fp = make_pool cfg.Config.fu_fp in
+  let pool_mem = make_pool cfg.Config.fu_mem in
+  let pool_branch = make_pool cfg.Config.fu_branch in
+  let issue_slots : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let commit_slots : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let slot_count tbl t =
+    match Hashtbl.find_opt tbl t with Some c -> c | None -> 0
+  in
+  let take_slot tbl t = Hashtbl.replace tbl t (slot_count tbl t + 1) in
+  let find_issue cand pool ~init =
+    let t = ref cand in
+    let chosen = ref (-1) in
+    let continue_ = ref true in
+    while !continue_ do
+      let best = ref 0 in
+      for u = 1 to Array.length pool.units - 1 do
+        if pool.units.(u) < pool.units.(!best) then best := u
+      done;
+      if pool.units.(!best) > !t then t := pool.units.(!best)
+      else if slot_count issue_slots !t >= cfg.Config.issue_width then incr t
+      else begin
+        chosen := !best;
+        continue_ := false
+      end
+    done;
+    take_slot issue_slots !t;
+    pool.units.(!chosen) <- !t + init;
+    !t
+  in
+  let rob = Array.make cfg.Config.rob_size 0 in
+  let iq = Array.make cfg.Config.iq_size 0 in
+  let insn_counter = ref 0 in
+  let fetch_time = ref 0 in
+  let fetch_in_cycle = ref 0 in
+  let next_fetch () =
+    if !fetch_in_cycle >= cfg.Config.issue_width then begin
+      incr fetch_time;
+      fetch_in_cycle := 0
+    end;
+    incr fetch_in_cycle;
+    !fetch_time
+  in
+  let redirect t =
+    if t + 1 > !fetch_time then begin
+      fetch_time := t + 1;
+      fetch_in_cycle := 0
+    end
+  in
+  let reg_time = Array.make Ir.Reg.count 0 in
+  let store_time : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let last_commit = ref 0 in
+  let last_issue = ref 0 in
+  (* window-occupancy accounting: sum over instructions of time in flight *)
+  let occupancy = ref 0 in
+  let sched ~fu ~latency ~init ~uses ~defs ~mem =
+    let i = !insn_counter in
+    incr insn_counter;
+    let fetch_t = next_fetch () in
+    let disp_t = ref (fetch_t + cfg.Config.front_depth) in
+    if i >= cfg.Config.rob_size then
+      disp_t := max !disp_t rob.(i mod cfg.Config.rob_size);
+    if i >= cfg.Config.iq_size then
+      disp_t := max !disp_t iq.(i mod cfg.Config.iq_size);
+    let ready = ref 0 in
+    List.iter
+      (fun r -> if r <> Ir.Reg.zero && reg_time.(r) > !ready then ready := reg_time.(r))
+      uses;
+    let is_load = ref false in
+    let load_addr = ref 0 in
+    (match mem with
+    | Some (addr, true) ->
+      is_load := true;
+      load_addr := addr;
+      (match Hashtbl.find_opt store_time addr with
+      | Some t -> if t > !ready then ready := t
+      | None -> ())
+    | Some (_, false) | None -> ());
+    let base = if cfg.Config.in_order then max !disp_t !last_issue else !disp_t in
+    let cand = max base !ready in
+    let issue_t = find_issue cand fu ~init in
+    last_issue := max !last_issue issue_t;
+    let lat =
+      if !is_load then Cache.Hierarchy.dload hier !load_addr else latency
+    in
+    let complete_t = issue_t + lat in
+    (match mem with
+    | Some (addr, false) -> Hashtbl.replace store_time addr (issue_t + 1)
+    | Some (_, true) | None -> ());
+    let c = ref (max complete_t !last_commit) in
+    while slot_count commit_slots !c >= cfg.Config.issue_width do
+      incr c
+    done;
+    take_slot commit_slots !c;
+    last_commit := !c;
+    rob.(i mod cfg.Config.rob_size) <- !c;
+    iq.(i mod cfg.Config.iq_size) <- issue_t;
+    (* window residency: from ROB entry (dispatch) to commit *)
+    occupancy := !occupancy + (!c - !disp_t);
+    List.iter
+      (fun d -> if d <> Ir.Reg.zero then reg_time.(d) <- complete_t)
+      defs;
+    complete_t
+  in
+  for j = 0 to n_events - 1 do
+    let ev = events.(j) in
+    let fid = ev.Interp.Trace.fid in
+    let blkl = ev.Interp.Trace.blk in
+    let blk = Interp.Trace.block trace ev in
+    let extra =
+      Cache.Hierarchy.ifetch hier (Layout.block_addr layout ~fid ~blk:blkl)
+    in
+    if extra > 0 then begin
+      fetch_time := !fetch_time + extra;
+      fetch_in_cycle := 0
+    end;
+    let next_addr = ref 0 in
+    Array.iter
+      (fun insn ->
+        let fu, latency, init =
+          match Ir.Insn.fu_class insn with
+          | Ir.Insn.Fu_int -> (pool_int, cfg.Config.lat_int, 1)
+          | Ir.Insn.Fu_int_mul -> (pool_int, cfg.Config.lat_int_mul, 1)
+          | Ir.Insn.Fu_int_div ->
+            (pool_int, cfg.Config.lat_int_div, cfg.Config.lat_int_div)
+          | Ir.Insn.Fu_fp -> (pool_fp, cfg.Config.lat_fp, 1)
+          | Ir.Insn.Fu_fp_div ->
+            (pool_fp, cfg.Config.lat_fp_div, cfg.Config.lat_fp_div)
+          | Ir.Insn.Fu_load | Ir.Insn.Fu_store -> (pool_mem, 1, 1)
+        in
+        let mem =
+          if Ir.Insn.is_mem insn then begin
+            let addr = ev.Interp.Trace.addrs.(!next_addr) in
+            incr next_addr;
+            match insn with
+            | Ir.Insn.Load (_, _, _) -> Some (addr, true)
+            | _ -> Some (addr, false)
+          end
+          else None
+        in
+        ignore
+          (sched ~fu ~latency ~init ~uses:(Ir.Insn.uses insn)
+             ~defs:(Ir.Insn.defs insn) ~mem))
+      blk.Ir.Block.insns;
+    let uses =
+      match blk.Ir.Block.term with
+      | Ir.Block.Call (_, _) -> []
+      | t -> Analysis.Dataflow.term_uses t
+    in
+    let t_complete =
+      sched ~fu:pool_branch ~latency:1 ~init:1 ~uses ~defs:[] ~mem:None
+    in
+    (* branch prediction across the whole stream *)
+    let pc = Layout.block_id layout ~fid ~blk:blkl in
+    (if j + 1 < n_events then begin
+       let next = events.(j + 1) in
+       match blk.Ir.Block.term with
+       | Ir.Block.Br (_, l1, _) when next.Interp.Trace.fid = fid ->
+         stats.Stats.intra_branches <- stats.Stats.intra_branches + 1;
+         let taken = next.Interp.Trace.blk = l1 in
+         if not (Predict.Gshare.predict_and_update gshare ~pc ~taken) then begin
+           stats.Stats.intra_branch_mispredicts <-
+             stats.Stats.intra_branch_mispredicts + 1;
+           redirect (t_complete + cfg.Config.branch_redirect - 1)
+         end
+       | Ir.Block.Switch (_, targets, _) when next.Interp.Trace.fid = fid ->
+         stats.Stats.intra_branches <- stats.Stats.intra_branches + 1;
+         let actual = ref (Array.length targets) in
+         Array.iteri
+           (fun k l ->
+             if l = next.Interp.Trace.blk && !actual = Array.length targets
+             then actual := k)
+           targets;
+         if
+           not
+             (Predict.Target.predict_and_update switch_pred ~pc ~actual:!actual)
+         then begin
+           stats.Stats.intra_branch_mispredicts <-
+             stats.Stats.intra_branch_mispredicts + 1;
+           redirect (t_complete + cfg.Config.branch_redirect - 1)
+         end
+       | Ir.Block.Br _ | Ir.Block.Switch _ | Ir.Block.Jump _ | Ir.Block.Call _
+       | Ir.Block.Ret | Ir.Block.Halt -> ()
+     end);
+    stats.Stats.dyn_insns <- stats.Stats.dyn_insns + Ir.Block.size blk
+  done;
+  stats.Stats.cycles <- !last_commit;
+  stats.Stats.l1d_accesses <- Cache.accesses (Cache.Hierarchy.l1d hier);
+  stats.Stats.l1d_misses <- Cache.misses (Cache.Hierarchy.l1d hier);
+  stats.Stats.l1i_accesses <- Cache.accesses (Cache.Hierarchy.l1i hier);
+  stats.Stats.l1i_misses <- Cache.misses (Cache.Hierarchy.l1i hier);
+  let avg_window =
+    if stats.Stats.cycles = 0 then 0.0
+    else float_of_int !occupancy /. float_of_int stats.Stats.cycles
+  in
+  { stats; avg_window }

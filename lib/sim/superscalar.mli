@@ -1,0 +1,24 @@
+(** A conventional superscalar processor model, used as the paper's §4.3.4
+    reference point: "the amount of parallelism that is exposed through
+    branch prediction (which is used by most modern superscalar processors)
+    is significantly less than that exposed by task-level speculation".
+
+    One centralised window executes the same dynamic trace: wide fetch, a
+    single ROB/issue queue, gshare-predicted branches with full-window
+    squash on mispredictions, a return-address stack, and the same cache
+    hierarchy as the Multiscalar model.  No tasks, no ring, no ARB. *)
+
+type result = {
+  stats : Stats.t;
+      (** [dyn_insns], [cycles], intra-branch counters and cache counters
+          are populated; task-level fields stay zero *)
+  avg_window : float;
+      (** average occupancy of the instruction window — the superscalar
+          analogue of the Multiscalar window span *)
+}
+
+val run : Config.t -> Interp.Trace.t -> result
+(** [Config.issue_width], [rob_size], [iq_size], functional-unit counts and
+    memory parameters are used directly; build a wider machine by overriding
+    them (e.g. [{ (Config.default ~num_pus:1 ~in_order:false) with
+    issue_width = 4; rob_size = 64 }]). *)

@@ -1,0 +1,69 @@
+(** Per-task-instance pipeline timing.
+
+    Replays one dynamic task instance on one PU, modelling the paper's
+    processing-unit configuration: [issue_width]-wide fetch/issue, a
+    [rob_size]-entry reorder buffer, an [iq_size]-entry issue list,
+    functional-unit structural hazards, in-order or out-of-order issue,
+    gshare-predicted intra-task branches (misprediction redirects fetch),
+    and loads/stores through the ARB + cache hierarchy.
+
+    Inter-task inputs (operand arrival through the register ring, memory
+    values forwarded from older tasks' stores) are provided by the engine
+    through {!env}; the computation is deterministic given those. *)
+
+type site = {
+  s_fid : int;
+  s_blk : Ir.Block.label;
+  s_idx : int;  (** instruction index; block terminators use [length insns] *)
+}
+
+type env = {
+  start_fetch : int;  (** cycle at which the PU starts fetching the task *)
+  reg_avail : Ir.Reg.t -> int;
+      (** arrival time of an operand not produced inside the instance *)
+  mem_dep : addr:int -> load_site:int -> (int * bool) option;
+      (** is the youngest older in-flight task writing [addr]?  Returns the
+          forwarded value's availability time and whether the sync table
+          holds this (load, store) pair — if so the load waits (Moshovos
+          synchronization) instead of speculating *)
+  load_lat : addr:int -> int;   (** D-cache hierarchy latency *)
+  mem_slot : addr:int -> at:int -> int;
+      (** reserve a D-cache/ARB bank port shared across the PUs: returns the
+          earliest cycle at or after [at] when the address's bank is free *)
+  ifetch_extra : fid:int -> blk:Ir.Block.label -> int;
+      (** extra fetch cycles on an I-cache miss for the block *)
+  cond_pred : pc:int -> taken:bool -> bool;  (** gshare; returns correct? *)
+  switch_pred : pc:int -> actual:int -> bool;
+  mem_hold : int;
+      (** memory operations may not issue before this cycle (used to model
+          ARB-overflow serialisation); 0 normally *)
+}
+
+type mem_op = {
+  m_addr : int;
+  m_time : int;   (** execution (value read / ARB write) time *)
+  m_site : site;
+}
+
+type result = {
+  complete : int;   (** commit time of the last instruction *)
+  resolve : int;    (** completion of the last control-transfer insn *)
+  event_entry : int array;
+      (** fetch time at the start of each event of the instance (indexed
+          from the instance's first event) — the engine uses these as the
+          execution times of compiler-inserted register-release points *)
+  dyn_insns : int;
+  intra_branches : int;
+  intra_mispredicts : int;
+  reg_writes : (Ir.Reg.t * int * site) list;
+      (** dynamically-last write per register: completion time and site *)
+  loads : mem_op list;    (** in program order *)
+  stores : mem_op list;
+  distinct_addrs : int;   (** speculative ARB footprint of the task *)
+  inter_wait : int;  (** issue cycles lost waiting on inter-task operands *)
+  intra_wait : int;  (** issue cycles lost waiting on intra-task operands *)
+  sync_waits : int;  (** loads held back by the synchronization table *)
+}
+
+val run :
+  Config.t -> Interp.Trace.t -> Layout.t -> Dyntask.instance -> env -> result

@@ -1,0 +1,16 @@
+(* Workload registry: entry type for the synthetic SPEC95 suite (see Suite
+   for the list). *)
+
+type kind = [ `Int | `Fp ]
+
+type entry = {
+  name : string;
+  kind : kind;
+  build : unit -> Ir.Prog.t;
+  build_alt : unit -> Ir.Prog.t;
+      (* the same program structure over an alternative input (different
+         data seeds): used for cross-input profile-robustness studies *)
+  description : string;
+}
+
+let kind_name = function `Int -> "int" | `Fp -> "fp"

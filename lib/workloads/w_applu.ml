@@ -1,0 +1,83 @@
+(* 110.applu analogue: SSOR solver for coupled PDEs.
+
+   Structural features mirrored: a lower-triangular sweep with a *serial*
+   loop-carried fp dependence (each cell needs its predecessor — the kind of
+   cross-task dependence the data-dependence heuristic schedules), plus an
+   independent flux evaluation loop. *)
+
+open Ir.Builder
+open Util
+
+let cells = 600
+let iters = 5
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let v = data_floats pb (floats ~seed:(0xA991 + input_salt) ~n:cells) in
+  let rhs = data_floats pb (floats ~seed:(0xA992 + input_salt) ~n:cells) in
+  let fluxes = alloc pb cells in
+  let r_t = t0 in
+  let r_i = t1 in
+  let r_a = t2 in
+  let f k = Ir.Reg.tmp (16 + k) in
+  func pb "main" (fun b ->
+      for_ b r_t ~from:(imm 0) ~below:(imm iters) ~step:1 (fun b ->
+          (* independent flux computation *)
+          for_ b r_i ~from:(imm 1) ~below:(imm (cells - 1)) ~step:1 (fun b ->
+              addi b r_a r_i v;
+              load b (f 0) r_a 0;
+              load b (f 1) r_a 1;
+              load b (f 2) r_a (-1);
+              fbin b Ir.Insn.Fsub (f 3) (f 1) (f 2);
+              fbin b Ir.Insn.Fmul (f 3) (f 3) (f 0);
+              fbin b Ir.Insn.Fadd (f 4) (f 1) (f 2);
+              fbin b Ir.Insn.Fmul (f 4) (f 4) (f 4);
+              fbin b Ir.Insn.Fadd (f 3) (f 3) (f 4);
+              addi b r_a r_i fluxes;
+              store b (f 3) r_a 0);
+          (* serial SSOR sweep: v[i] = 0.8*v[i] + 0.2*(v[i-1] + rhs[i] - flux[i]) *)
+          lf b (f 5) 0.8;
+          lf b (f 6) 0.2;
+          for_ b r_i ~from:(imm 1) ~below:(imm cells) ~step:1 (fun b ->
+              addi b r_a r_i v;
+              load b (f 0) r_a 0;
+              load b (f 1) r_a (-1);
+              addi b r_a r_i rhs;
+              load b (f 2) r_a 0;
+              bin b Ir.Insn.Lt r_a r_i (imm (cells - 1));
+              if_ b r_a
+                (fun b ->
+                  addi b r_a r_i fluxes;
+                  load b (f 3) r_a 0)
+                (fun b -> lf b (f 3) 0.0);
+              fbin b Ir.Insn.Fadd (f 4) (f 1) (f 2);
+              fbin b Ir.Insn.Fsub (f 4) (f 4) (f 3);
+              fbin b Ir.Insn.Fmul (f 4) (f 4) (f 6);
+              fbin b Ir.Insn.Fmul (f 0) (f 0) (f 5);
+              fbin b Ir.Insn.Fadd (f 0) (f 0) (f 4);
+              funop b Ir.Insn.Fabs (f 7) (f 0);
+              lf b (f 8) 1.0;
+              fbin b Ir.Insn.Fadd (f 7) (f 7) (f 8);
+              fbin b Ir.Insn.Fdiv (f 0) (f 0) (f 7);
+              addi b r_a r_i v;
+              store b (f 0) r_a 0));
+      lf b (f 0) 0.0;
+      for_ b r_i ~from:(imm 0) ~below:(imm cells) ~step:1 (fun b ->
+          addi b r_a r_i v;
+          load b (f 1) r_a 0;
+          fbin b Ir.Insn.Fadd (f 0) (f 0) (f 1));
+      lf b (f 1) 1000.0;
+      fbin b Ir.Insn.Fmul (f 0) (f 0) (f 1);
+      funop b Ir.Insn.Ftoi Ir.Reg.rv (f 0);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "applu";
+    kind = `Fp;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "SSOR sweep with serial carried dependence (110.applu)";
+  }

@@ -1,0 +1,95 @@
+(* 141.apsi analogue: mesoscale atmosphere model.
+
+   Structural features mirrored: a vertical-column diffusion loop with a
+   carried dependence (tridiagonal-like forward sweep), a horizontal
+   advection loop that is fully parallel, and boundary conditionals —
+   apsi's mix of serial columns and parallel planes. *)
+
+open Ir.Builder
+open Util
+
+let nx = 24
+let nz = 12
+let steps = 3
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let temp = data_floats pb (floats ~seed:(0xA51 + input_salt) ~n:(nx * nz)) in
+  let wind = data_floats pb (floats ~seed:(0xA52 + input_salt) ~n:(nx * nz)) in
+  let work = alloc pb (nx * nz) in
+  let r_t = t0 in
+  let r_x = t1 in
+  let r_z = t2 in
+  let r_idx = t3 in
+  let r_a = t4 in
+  let r_c = t5 in
+  let f k = Ir.Reg.tmp (16 + k) in
+  func pb "main" (fun b ->
+      for_ b r_t ~from:(imm 0) ~below:(imm steps) ~step:1 (fun b ->
+          (* vertical diffusion: serial in z per column *)
+          for_ b r_x ~from:(imm 0) ~below:(imm nx) ~step:1 (fun b ->
+              lf b (f 0) 0.0;
+              for_ b r_z ~from:(imm 0) ~below:(imm nz) ~step:1 (fun b ->
+                  bin b Ir.Insn.Mul r_idx r_z (imm nx);
+                  bin b Ir.Insn.Add r_idx r_idx (reg r_x);
+                  addi b r_a r_idx temp;
+                  load b (f 1) r_a 0;
+                  lf b (f 2) 0.7;
+                  fbin b Ir.Insn.Fmul (f 1) (f 1) (f 2);
+                  lf b (f 2) 0.3;
+                  fbin b Ir.Insn.Fmul (f 3) (f 0) (f 2);
+                  fbin b Ir.Insn.Fadd (f 1) (f 1) (f 3);
+                  store b (f 1) r_a 0;
+                  fbin b Ir.Insn.Fadd (f 0) (f 1) (f 1);
+                  lf b (f 2) 0.5;
+                  fbin b Ir.Insn.Fmul (f 0) (f 0) (f 2)));
+          (* horizontal advection: parallel in x, upwind conditional *)
+          for_ b r_z ~from:(imm 0) ~below:(imm nz) ~step:1 (fun b ->
+              for_ b r_x ~from:(imm 1) ~below:(imm (nx - 1)) ~step:1 (fun b ->
+                  bin b Ir.Insn.Mul r_idx r_z (imm nx);
+                  bin b Ir.Insn.Add r_idx r_idx (reg r_x);
+                  addi b r_a r_idx wind;
+                  load b (f 0) r_a 0;
+                  lf b (f 1) 0.0;
+                  fcmp b Ir.Insn.Flt r_c (f 0) (f 1);
+                  addi b r_a r_idx temp;
+                  if_ b r_c
+                    (fun b -> load b (f 2) r_a 1)
+                    (fun b -> load b (f 2) r_a (-1));
+                  load b (f 3) r_a 0;
+                  fbin b Ir.Insn.Fsub (f 2) (f 2) (f 3);
+                  lf b (f 4) 0.1;
+                  fbin b Ir.Insn.Fmul (f 2) (f 2) (f 4);
+                  funop b Ir.Insn.Fabs (f 5) (f 0);
+                  fbin b Ir.Insn.Fmul (f 2) (f 2) (f 5);
+                  fbin b Ir.Insn.Fadd (f 3) (f 3) (f 2);
+                  bin b Ir.Insn.Mul r_idx r_z (imm nx);
+                  bin b Ir.Insn.Add r_idx r_idx (reg r_x);
+                  addi b r_a r_idx work;
+                  store b (f 3) r_a 0));
+          (* copy work back into temp *)
+          for_ b r_idx ~from:(imm 0) ~below:(imm (nx * nz)) ~step:1 (fun b ->
+              addi b r_a r_idx work;
+              load b (f 0) r_a 0;
+              addi b r_a r_idx temp;
+              store b (f 0) r_a 0));
+      lf b (f 0) 0.0;
+      for_ b r_idx ~from:(imm 0) ~below:(imm (nx * nz)) ~step:1 (fun b ->
+          addi b r_a r_idx temp;
+          load b (f 1) r_a 0;
+          fbin b Ir.Insn.Fadd (f 0) (f 0) (f 1));
+      lf b (f 1) 1000.0;
+      fbin b Ir.Insn.Fmul (f 0) (f 0) (f 1);
+      funop b Ir.Insn.Ftoi Ir.Reg.rv (f 0);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "apsi";
+    kind = `Fp;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "atmosphere columns and advection (141.apsi)";
+  }

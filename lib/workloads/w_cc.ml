@@ -1,0 +1,167 @@
+(* 126.gcc analogue: a recursive-descent expression parser/evaluator.
+
+   Structural features mirrored: deep call graphs with recursion
+   (expr/term/factor), a token-dispatch switch, many small basic blocks,
+   register spills around calls, and a cursor creating a serial dependence
+   through the whole parse — gcc's branchy, call-heavy profile. *)
+
+open Ir.Builder
+open Util
+
+(* token encoding *)
+let t_num = 0 (* value in the payload array *)
+let t_plus = 1
+let t_minus = 2
+let t_star = 3
+let t_slash = 4
+let t_lpar = 5
+let t_rpar = 6
+let t_end = 7
+
+(* host-side generation of a random, properly parenthesised expression *)
+let gen_tokens ~input_salt () =
+  let g = Lcg.create (0xCC + input_salt) in
+  let toks = ref [] in
+  let emit t v = toks := (t, v) :: !toks in
+  let rec expr depth =
+    term depth;
+    let n = Lcg.below g 3 in
+    for _ = 1 to n do
+      emit (if Lcg.below g 10 < 7 then t_plus else t_minus) 0;
+      term depth
+    done
+  and term depth =
+    factor depth;
+    let n = Lcg.below g 2 in
+    for _ = 1 to n do
+      emit (if Lcg.below g 10 < 2 then t_slash else t_star) 0;
+      factor depth
+    done
+  and factor depth =
+    if depth > 0 && Lcg.below g 3 = 0 then begin
+      emit t_lpar 0;
+      expr (depth - 1);
+      emit t_rpar 0
+    end
+    else emit t_num (1 + Lcg.below g 9)
+  in
+  (* several top-level expressions, parsed in a loop *)
+  let exprs = 150 in
+  for _ = 1 to exprs do
+    expr 4;
+    emit t_end 0
+  done;
+  (List.rev !toks, exprs)
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let tokens, num_exprs = gen_tokens ~input_salt () in
+  let pb = program () in
+  let tok_kind = data_ints pb (List.map fst tokens) in
+  let tok_val = data_ints pb (List.map snd tokens) in
+  (* the token cursor lives in a globally-allocated register (as a compiler
+     would allocate a hot global): the serial parse dependence then flows
+     through the Multiscalar register ring rather than the ARB *)
+  let r_cur = t0 in
+  let r_k = t1 in
+  let r_v = t2 in
+  let r_a = t3 in
+  let r_lhs = t4 in
+  let r_e = t5 in
+  let r_acc = t6 in
+  let bump_cursor b = addi b r_cur r_cur 1 in
+  let peek b =
+    load_at b ~dst:r_k ~base:tok_kind ~index:r_cur ~scratch:r_a
+  in
+  (* factor: rv = value of a factor *)
+  func pb "factor" (fun b ->
+      peek b;
+      bin b Ir.Insn.Eq r_a r_k (imm t_lpar);
+      if_ b r_a
+        (fun b ->
+          bump_cursor b;
+          call b "expr";
+          (* skip the closing parenthesis *)
+          bump_cursor b)
+        (fun b ->
+          load_at b ~dst:Ir.Reg.rv ~base:tok_val ~index:r_cur ~scratch:r_a;
+          bump_cursor b);
+      ret b);
+  (* term: factor { * / factor } *)
+  func pb "term" (fun b ->
+      call b "factor";
+      mov b r_lhs Ir.Reg.rv;
+      li b r_e 1;
+      while_ b
+        ~cond:(fun b ->
+          peek b;
+          bin b Ir.Insn.Eq r_a r_k (imm t_star);
+          bin b Ir.Insn.Eq r_v r_k (imm t_slash);
+          bin b Ir.Insn.Or r_a r_a (reg r_v);
+          bin b Ir.Insn.And r_a r_a (reg r_e);
+          r_a)
+        (fun b ->
+          bump_cursor b;
+          push b r_lhs;
+          push b r_k;
+          call b "factor";
+          pop b r_k;
+          pop b r_lhs;
+          bin b Ir.Insn.Eq r_a r_k (imm t_star);
+          if_ b r_a
+            (fun b -> bin b Ir.Insn.Mul r_lhs r_lhs (reg Ir.Reg.rv))
+            (fun b ->
+              (* guard divide-by-zero: the generator never emits 0 literals
+                 but a parenthesised expression can evaluate to 0 *)
+              bin b Ir.Insn.Eq r_a Ir.Reg.rv (imm 0);
+              if_ b r_a
+                (fun b -> li b r_lhs 0)
+                (fun b -> bin b Ir.Insn.Div r_lhs r_lhs (reg Ir.Reg.rv))));
+      mov b Ir.Reg.rv r_lhs;
+      ret b);
+  (* expr: term { +- term } *)
+  func pb "expr" (fun b ->
+      call b "term";
+      mov b r_lhs Ir.Reg.rv;
+      li b r_e 1;
+      while_ b
+        ~cond:(fun b ->
+          peek b;
+          bin b Ir.Insn.Eq r_a r_k (imm t_plus);
+          bin b Ir.Insn.Eq r_v r_k (imm t_minus);
+          bin b Ir.Insn.Or r_a r_a (reg r_v);
+          bin b Ir.Insn.And r_a r_a (reg r_e);
+          r_a)
+        (fun b ->
+          bump_cursor b;
+          push b r_lhs;
+          push b r_k;
+          call b "term";
+          pop b r_k;
+          pop b r_lhs;
+          bin b Ir.Insn.Eq r_a r_k (imm t_plus);
+          if_ b r_a
+            (fun b -> bin b Ir.Insn.Add r_lhs r_lhs (reg Ir.Reg.rv))
+            (fun b -> bin b Ir.Insn.Sub r_lhs r_lhs (reg Ir.Reg.rv)));
+      mov b Ir.Reg.rv r_lhs;
+      ret b);
+  func pb "main" (fun b ->
+      li b r_cur 0;
+      li b r_acc 0;
+      for_ b t7 ~from:(imm 0) ~below:(imm num_exprs) ~step:1 (fun b ->
+          call b "expr";
+          bin b Ir.Insn.Xor r_acc r_acc (reg Ir.Reg.rv);
+          (* skip the end-of-expression token *)
+          bump_cursor b);
+      mov b Ir.Reg.rv r_acc;
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "cc";
+    kind = `Int;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "recursive-descent parser/evaluator (126.gcc)";
+  }

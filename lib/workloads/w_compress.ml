@@ -1,0 +1,127 @@
+(* 129.compress analogue: an LZW-style compression kernel.
+
+   Structural features mirrored from SPEC95 compress:
+   - a hot outer loop over input bytes with *small* basic blocks;
+   - a tight hash-probe inner loop (few instructions per iteration) — this is
+     the loop the paper's task-size heuristic unrolls (compress is one of the
+     two benchmarks that respond to it);
+   - a loop-carried dependence through the previous-code register;
+   - data-dependent branching on hash hits/misses. *)
+
+open Ir.Builder
+open Util
+
+let input_size = 1500
+let table_size = 512
+let scratch_done = Util.t11
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let input = data_ints pb (ints ~seed:(0xC0113 + input_salt) ~n:input_size ~bound:64) in
+  let keys = alloc pb table_size in
+  let vals = alloc pb table_size in
+  let output = alloc pb (input_size + 8) in
+  let r_i = t0 in
+  let r_c = t1 in
+  let r_prev = t2 in
+  let r_h = t3 in
+  let r_sig = t4 in
+  let r_key = t5 in
+  let r_next_code = t6 in
+  let r_outp = t7 in
+  let r_acc = t8 in
+  let r_a = t9 in
+  let r_done = t10 in
+  let r_filled = t12 in
+  func pb "main" (fun b ->
+      li b r_prev 1;
+      li b r_next_code 256;
+      li b r_outp 0;
+      li b r_acc 0;
+      li b r_filled 0;
+      for_ b r_i ~from:(imm 0) ~below:(imm input_size) ~step:1 (fun b ->
+          (* dictionary full: emit a CLEAR and rebuild, as real LZW does *)
+          bin b Ir.Insn.Ge r_a r_filled (imm (table_size - 64));
+          when_ b r_a (fun b ->
+              for_ b r_h ~from:(imm 0) ~below:(imm table_size) ~step:1
+                (fun b ->
+                  store_at b ~src:Ir.Reg.zero ~base:keys ~index:r_h
+                    ~scratch:r_a);
+              li b r_filled 0;
+              li b r_next_code 256;
+              addi b r_acc r_acc 7);
+          (* c = input[i] *)
+          load_at b ~dst:r_c ~base:input ~index:r_i ~scratch:r_a;
+          (* signature and initial hash *)
+          bin b Ir.Insn.Shl r_sig r_prev (imm 6);
+          bin b Ir.Insn.Xor r_sig r_sig (reg r_c);
+          bin b Ir.Insn.And r_h r_sig (imm (table_size - 1));
+          new_block b;
+          (* probe loop: advance until empty slot or matching key *)
+          li b r_done 0;
+          while_ b
+            ~cond:(fun b ->
+              bin b Ir.Insn.Eq scratch_done r_done (imm 0);
+              scratch_done)
+            (fun b ->
+              load_at b ~dst:r_key ~base:keys ~index:r_h ~scratch:r_a;
+              bin b Ir.Insn.Eq r_a r_key (reg r_sig);
+              if_ b r_a
+                (fun b -> li b r_done 1 (* hit *))
+                (fun b ->
+                  bin b Ir.Insn.Eq r_a r_key (imm 0);
+                  if_ b r_a
+                    (fun b -> li b r_done 2 (* empty slot *))
+                    (fun b ->
+                      addi b r_h r_h 1;
+                      bin b Ir.Insn.And r_h r_h (imm (table_size - 1)))));
+          bin b Ir.Insn.Eq r_a r_done (imm 1);
+          if_ b r_a
+            (fun b ->
+              (* hit: extend the phrase *)
+              load_at b ~dst:r_prev ~base:vals ~index:r_h ~scratch:r_a;
+              bin b Ir.Insn.Add r_acc r_acc (reg r_prev))
+            (fun b ->
+              (* miss: install, emit the previous code, restart phrase *)
+              store_at b ~src:r_sig ~base:keys ~index:r_h ~scratch:r_a;
+              store_at b ~src:r_next_code ~base:vals ~index:r_h ~scratch:r_a;
+              addi b r_next_code r_next_code 1;
+              addi b r_filled r_filled 1;
+              store_at b ~src:r_prev ~base:output ~index:r_outp ~scratch:r_a;
+              addi b r_outp r_outp 1;
+              mov b r_prev r_c));
+      (* decompression-style verification pass: walk the emitted codes,
+         re-deriving each phrase's length through the value table (the
+         original's decompress path re-walks its string table the same
+         way), and fold everything into the checksum *)
+      for_ b r_i ~from:(imm 0) ~below:(reg r_outp) ~step:1 (fun b ->
+          load_at b ~dst:r_c ~base:output ~index:r_i ~scratch:r_a;
+          (* chase the code through the table: codes >= 256 index phrases *)
+          li b r_done 0;
+          while_ b
+            ~cond:(fun b ->
+              bin b Ir.Insn.Ge scratch_done r_c (imm 256);
+              bin b Ir.Insn.Lt r_a r_done (imm 8);
+              bin b Ir.Insn.And scratch_done scratch_done (reg r_a);
+              scratch_done)
+            (fun b ->
+              bin b Ir.Insn.And r_h r_c (imm (table_size - 1));
+              load_at b ~dst:r_c ~base:vals ~index:r_h ~scratch:r_a;
+              addi b r_done r_done 1);
+          bin b Ir.Insn.Add r_acc r_acc (reg r_done);
+          bin b Ir.Insn.Xor r_acc r_acc (reg r_c));
+      (* checksum = acc ^ emitted-count ^ next_code *)
+      bin b Ir.Insn.Xor Ir.Reg.rv r_acc (reg r_outp);
+      bin b Ir.Insn.Xor Ir.Reg.rv Ir.Reg.rv (reg r_next_code);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "compress";
+    kind = `Int;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "LZW-style hash-probe compression loop (129.compress)";
+  }

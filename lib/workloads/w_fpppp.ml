@@ -1,0 +1,88 @@
+(* 145.fpppp analogue: two-electron integral derivatives.
+
+   Structural features mirrored: *enormous* straight-line basic blocks of
+   floating-point code (fpppp's hallmark — basic blocks of hundreds of
+   instructions), a small per-shell helper below CALL_THRESH (so the
+   task-size heuristic includes it — fpppp is the other benchmark the paper
+   reports responding to that heuristic), and an outer loop over shell
+   quadruples. *)
+
+open Ir.Builder
+open Util
+
+let shells = 40
+let chain_len = 30 (* fp operations per generated chain *)
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let basis = data_floats pb (floats ~seed:(0xF999 + input_salt) ~n:(shells * 4)) in
+  let out = alloc pb shells in
+  let r_s = t0 in
+  let r_a = t1 in
+  let f k = Ir.Reg.tmp (16 + k) in
+  (* scale_term: a0 = index; rv-as-float via memory cell.  ~14 dynamic
+     instructions: below CALL_THRESH, included by the task-size heuristic. *)
+  let scale_cell = alloc pb 1 in
+  func pb "scale_term" (fun b ->
+      bin b Ir.Insn.Shl r_a (Ir.Reg.arg 0) (imm 2);
+      addi b r_a r_a basis;
+      load b (f 0) r_a 0;
+      load b (f 1) r_a 1;
+      fbin b Ir.Insn.Fmul (f 0) (f 0) (f 1);
+      funop b Ir.Insn.Fabs (f 0) (f 0);
+      li b r_a scale_cell;
+      store b (f 0) r_a 0;
+      ret b);
+  func pb "main" (fun b ->
+      lf b (f 15) 0.0;
+      for_ b r_s ~from:(imm 0) ~below:(imm shells) ~step:1 (fun b ->
+          (* gather the four basis exponents *)
+          bin b Ir.Insn.Shl r_a r_s (imm 2);
+          addi b r_a r_a basis;
+          load b (f 0) r_a 0;
+          load b (f 1) r_a 1;
+          load b (f 2) r_a 2;
+          load b (f 3) r_a 3;
+          mov b (Ir.Reg.arg 0) r_s;
+          call b "scale_term";
+          li b r_a scale_cell;
+          load b (f 4) r_a 0;
+          (* giant straight-line integral kernel: a long fp dependence chain
+             interleaved with independent work, all in one basic block *)
+          lf b (f 5) 1.0;
+          lf b (f 6) 0.5;
+          for_ b r_a ~from:(imm 0) ~below:(imm 1) ~step:1 (fun b ->
+              (* single-iteration loop so the chain sits in its own block *)
+              for i = 0 to chain_len - 1 do
+                let a = f (i mod 4) in
+                let acc = f 5 in
+                (match i mod 3 with
+                | 0 -> fbin b Ir.Insn.Fmul (f 7) a (f 4)
+                | 1 -> fbin b Ir.Insn.Fadd (f 7) a (f 6)
+                | _ -> fbin b Ir.Insn.Fsub (f 7) a acc);
+                fbin b Ir.Insn.Fadd (f 5) (f 5) (f 7);
+                fbin b Ir.Insn.Fmul (f 8) (f 7) (f 7);
+                fbin b Ir.Insn.Fadd (f 9) (f 8) (f 5);
+                funop b Ir.Insn.Fabs (f 9) (f 9);
+                lf b (f 10) 1.0;
+                fbin b Ir.Insn.Fadd (f 9) (f 9) (f 10);
+                fbin b Ir.Insn.Fdiv (f 5) (f 5) (f 9)
+              done);
+          addi b r_a r_s out;
+          store b (f 5) r_a 0;
+          fbin b Ir.Insn.Fadd (f 15) (f 15) (f 5));
+      lf b (f 0) 10000.0;
+      fbin b Ir.Insn.Fmul (f 15) (f 15) (f 0);
+      funop b Ir.Insn.Ftoi Ir.Reg.rv (f 15);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "fpppp";
+    kind = `Fp;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "huge straight-line fp blocks + tiny helper (145.fpppp)";
+  }

@@ -1,0 +1,184 @@
+(* 099.go analogue: board evaluation with irregular control flow.
+
+   Structural features mirrored: nested loops over a Go board with deep,
+   data-dependent branch chains (empty / own / enemy cases), small leaf
+   functions called per stone (liberty counting — below CALL_THRESH, so the
+   task-size heuristic includes them), and accumulators creating cross-block
+   register dependences. *)
+
+open Ir.Builder
+open Util
+
+let dim = 21 (* 19x19 with a border *)
+let board_cells = dim * dim
+let passes = 10
+
+let gen_board ~input_salt () =
+  let g = Lcg.create (0x60 + input_salt) in
+  List.init board_cells (fun i ->
+      let x = i mod dim and y = i / dim in
+      if x = 0 || y = 0 || x = dim - 1 || y = dim - 1 then 3 (* border *)
+      else
+        match Lcg.below g 5 with
+        | 0 -> 1 (* black *)
+        | 1 -> 2 (* white *)
+        | _ -> 0 (* empty *))
+
+(* globals for the liberty helper: cell index in, liberty count out *)
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let board = data_ints pb (gen_board ~input_salt ()) in
+  let influence = alloc pb board_cells in
+  let r_pos = t0 in
+  let r_cell = t1 in
+  let r_acc = t2 in
+  let r_a = t3 in
+  let r_n = t4 in
+  let r_libs = t5 in
+  let r_pass = t6 in
+  let r_inf = t7 in
+  (* count_liberties: a0 = position, rv = number of empty neighbours
+     (all eight).  ~42 dynamic instructions: above CALL_THRESH, so this call
+     stays a task boundary even under the task-size heuristic — like the
+     paper's benchmarks, go does not respond to that heuristic. *)
+  func pb "count_liberties" (fun b ->
+      li b Ir.Reg.rv 0;
+      let check off b =
+        addi b r_n (Ir.Reg.arg 0) off;
+        load_at b ~dst:r_a ~base:board ~index:r_n ~scratch:r_n;
+        bin b Ir.Insn.Eq r_a r_a (imm 0);
+        bin b Ir.Insn.Add Ir.Reg.rv Ir.Reg.rv (reg r_a)
+      in
+      List.iter
+        (fun off -> check off b)
+        [ -1; 1; -dim; dim; -dim - 1; -dim + 1; dim - 1; dim + 1 ];
+      ret b);
+  (* influence_of: a0 = position, a1 = colour; spreads a small weight to the
+     four neighbours; larger than CALL_THRESH in aggregate use but short
+     enough to stress call-terminated tasks. *)
+  func pb "spread_influence" (fun b ->
+      let w off b =
+        addi b r_n (Ir.Reg.arg 0) off;
+        load_at b ~dst:r_inf ~base:influence ~index:r_n ~scratch:r_a;
+        bin b Ir.Insn.Add r_inf r_inf (reg (Ir.Reg.arg 1));
+        addi b r_n (Ir.Reg.arg 0) off;
+        store_at b ~src:r_inf ~base:influence ~index:r_n ~scratch:r_a
+      in
+      w (-1) b;
+      w 1 b;
+      w (-dim) b;
+      w dim b;
+      ret b);
+  func pb "main" (fun b ->
+      li b r_acc 0;
+      for_ b r_pass ~from:(imm 0) ~below:(imm passes) ~step:1 (fun b ->
+          for_ b r_pos ~from:(imm (dim + 1))
+            ~below:(imm (board_cells - dim - 1)) ~step:1 (fun b ->
+              load_at b ~dst:r_cell ~base:board ~index:r_pos ~scratch:r_a;
+              (* border? skip *)
+              bin b Ir.Insn.Eq r_a r_cell (imm 3);
+              if_ b r_a
+                (fun _ -> ())
+                (fun b ->
+                  bin b Ir.Insn.Eq r_a r_cell (imm 0);
+                  if_ b r_a
+                    (fun b ->
+                      (* empty: influence decides the accumulator sign *)
+                      load_at b ~dst:r_inf ~base:influence ~index:r_pos
+                        ~scratch:r_a;
+                      bin b Ir.Insn.Gt r_a r_inf (imm 0);
+                      if_ b r_a
+                        (fun b -> addi b r_acc r_acc 1)
+                        (fun b ->
+                          bin b Ir.Insn.Lt r_a r_inf (imm 0);
+                          when_ b r_a (fun b -> addi b r_acc r_acc (-1))))
+                    (fun b ->
+                      (* stone: count liberties, maybe spread influence *)
+                      mov b (Ir.Reg.arg 0) r_pos;
+                      call b "count_liberties";
+                      mov b r_libs Ir.Reg.rv;
+                      bin b Ir.Insn.Le r_a r_libs (imm 1);
+                      if_ b r_a
+                        (fun b ->
+                          (* atari: weigh heavily *)
+                          bin b Ir.Insn.Eq r_a r_cell (imm 1);
+                          if_ b r_a
+                            (fun b -> addi b r_acc r_acc 8)
+                            (fun b -> addi b r_acc r_acc (-8)))
+                        (fun b ->
+                          mov b (Ir.Reg.arg 0) r_pos;
+                          bin b Ir.Insn.Eq r_a r_cell (imm 1);
+                          if_ b r_a
+                            (fun b -> li b (Ir.Reg.arg 1) 1)
+                            (fun b -> li b (Ir.Reg.arg 1) (-1));
+                          call b "spread_influence";
+                          bin b Ir.Insn.Add r_acc r_acc (reg r_libs))))));
+      (* capture search: flood-fill each stone's group with an explicit
+         worklist (go engines spend much of their time in exactly this kind
+         of irregular, pointer-chasing group analysis) *)
+      let visited = alloc pb board_cells in
+      let worklist = alloc pb board_cells in
+      let r_wl = t9 in
+      let r_grp = t10 in
+      for_ b r_pos ~from:(imm (dim + 1)) ~below:(imm (board_cells - dim - 1))
+        ~step:1 (fun b ->
+          load_at b ~dst:r_cell ~base:board ~index:r_pos ~scratch:r_a;
+          bin b Ir.Insn.Eq r_a r_cell (imm 1);
+          load_at b ~dst:r_n ~base:visited ~index:r_pos ~scratch:r_inf;
+          bin b Ir.Insn.Eq r_n r_n (imm 0);
+          bin b Ir.Insn.And r_a r_a (reg r_n);
+          when_ b r_a (fun b ->
+              (* flood fill the black group starting here *)
+              li b r_wl 0;
+              li b r_grp 0;
+              store_at b ~src:r_pos ~base:worklist ~index:r_wl ~scratch:r_a;
+              addi b r_wl r_wl 1;
+              li b r_n 1;
+              store_at b ~src:r_n ~base:visited ~index:r_pos ~scratch:r_a;
+              while_ b
+                ~cond:(fun b ->
+                  bin b Ir.Insn.Gt r_a r_wl (imm 0);
+                  r_a)
+                (fun b ->
+                  addi b r_wl r_wl (-1);
+                  load_at b ~dst:r_n ~base:worklist ~index:r_wl ~scratch:r_a;
+                  addi b r_grp r_grp 1;
+                  let neighbour off b =
+                    addi b r_inf r_n off;
+                    load_at b ~dst:r_cell ~base:board ~index:r_inf ~scratch:r_a;
+                    bin b Ir.Insn.Eq r_cell r_cell (imm 1);
+                    addi b r_inf r_n off;
+                    load_at b ~dst:r_libs ~base:visited ~index:r_inf
+                      ~scratch:r_a;
+                    bin b Ir.Insn.Eq r_libs r_libs (imm 0);
+                    bin b Ir.Insn.And r_cell r_cell (reg r_libs);
+                    when_ b r_cell (fun b ->
+                        addi b r_inf r_n off;
+                        store_at b ~src:r_inf ~base:worklist ~index:r_wl
+                          ~scratch:r_a;
+                        addi b r_wl r_wl 1;
+                        li b r_libs 1;
+                        addi b r_inf r_n off;
+                        store_at b ~src:r_libs ~base:visited ~index:r_inf
+                          ~scratch:r_a)
+                  in
+                  neighbour (-1) b;
+                  neighbour 1 b;
+                  neighbour (-dim) b;
+                  neighbour dim b);
+              (* large groups weigh more *)
+              bin b Ir.Insn.Mul r_grp r_grp (reg r_grp);
+              bin b Ir.Insn.Add r_acc r_acc (reg r_grp)));
+      mov b Ir.Reg.rv r_acc;
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "go";
+    kind = `Int;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "board evaluation with irregular branching (099.go)";
+  }

@@ -1,0 +1,91 @@
+(* 104.hydro2d analogue: Navier-Stokes hydrodynamics on a 2-D grid.
+
+   Structural features mirrored: stencil loops whose bodies are *smaller*
+   than the other fp codes and contain boundary/limiter conditionals (the
+   paper notes hydro2d's basic blocks are under 20 instructions, unlike the
+   other fp benchmarks). *)
+
+open Ir.Builder
+open Util
+
+let n = 20
+let steps = 4
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let rho = data_floats pb (floats ~seed:(0xA1D0 + input_salt) ~n:(n * n)) in
+  let mom = data_floats pb (floats ~seed:(0xA1D1 + input_salt) ~n:(n * n)) in
+  let flux = alloc pb (n * n) in
+  let r_t = t0 in
+  let r_j = t1 in
+  let r_i = t2 in
+  let r_idx = t3 in
+  let r_a = t4 in
+  let r_c = t5 in
+  let f k = Ir.Reg.tmp (16 + k) in
+  func pb "main" (fun b ->
+      for_ b r_t ~from:(imm 0) ~below:(imm steps) ~step:1 (fun b ->
+          (* flux with a limiter conditional *)
+          for_ b r_j ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+              for_ b r_i ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+                  bin b Ir.Insn.Mul r_idx r_j (imm n);
+                  bin b Ir.Insn.Add r_idx r_idx (reg r_i);
+                  addi b r_a r_idx rho;
+                  load b (f 0) r_a 0;
+                  load b (f 1) r_a 1;
+                  fbin b Ir.Insn.Fsub (f 2) (f 1) (f 0);
+                  (* limiter: clamp negative gradients *)
+                  lf b (f 3) 0.0;
+                  fcmp b Ir.Insn.Flt r_c (f 2) (f 3);
+                  if_ b r_c
+                    (fun b -> lf b (f 2) 0.0)
+                    (fun b ->
+                      addi b r_a r_idx mom;
+                      load b (f 4) r_a 0;
+                      fbin b Ir.Insn.Fmul (f 2) (f 2) (f 4));
+                  addi b r_a r_idx flux;
+                  store b (f 2) r_a 0));
+          (* advance density *)
+          for_ b r_j ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+              for_ b r_i ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+                  bin b Ir.Insn.Mul r_idx r_j (imm n);
+                  bin b Ir.Insn.Add r_idx r_idx (reg r_i);
+                  addi b r_a r_idx flux;
+                  load b (f 0) r_a 0;
+                  load b (f 1) r_a (-1);
+                  fbin b Ir.Insn.Fsub (f 2) (f 0) (f 1);
+                  lf b (f 3) 0.05;
+                  fbin b Ir.Insn.Fmul (f 2) (f 2) (f 3);
+                  addi b r_a r_idx rho;
+                  load b (f 4) r_a 0;
+                  fbin b Ir.Insn.Fsub (f 4) (f 4) (f 2);
+                  store b (f 4) r_a 0;
+                  (* momentum gets the symmetric update with a floor *)
+                  addi b r_a r_idx mom;
+                  load b (f 5) r_a 0;
+                  fbin b Ir.Insn.Fadd (f 5) (f 5) (f 2);
+                  lf b (f 6) (-1.0);
+                  fcmp b Ir.Insn.Flt r_c (f 5) (f 6);
+                  when_ b r_c (fun b -> lf b (f 5) (-1.0));
+                  store b (f 5) r_a 0)));
+      (* checksum *)
+      lf b (f 0) 0.0;
+      for_ b r_i ~from:(imm 0) ~below:(imm (n * n)) ~step:1 (fun b ->
+          addi b r_a r_i rho;
+          load b (f 1) r_a 0;
+          fbin b Ir.Insn.Fadd (f 0) (f 0) (f 1));
+      lf b (f 1) 100.0;
+      fbin b Ir.Insn.Fmul (f 0) (f 0) (f 1);
+      funop b Ir.Insn.Ftoi Ir.Reg.rv (f 0);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "hydro2d";
+    kind = `Fp;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "hydrodynamics stencil with limiter branches (104.hydro2d)";
+  }

@@ -1,0 +1,142 @@
+(* 132.ijpeg analogue: 8x8 block transform + quantisation.
+
+   Structural features mirrored: regular loops over image blocks whose
+   bodies are medium-size straight-line integer code (a butterfly 1-D
+   transform applied to rows then columns), followed by a branchy
+   quantisation pass — ijpeg's loop-level parallelism that the paper's
+   control-flow heuristic captures well (loop-body tasks). *)
+
+open Ir.Builder
+open Util
+
+let blocks = 36
+let block_px = 64 (* 8x8 *)
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let image =
+    data_ints pb (ints ~seed:(0x17E6 + input_salt) ~n:(blocks * block_px) ~bound:256)
+  in
+  let quant = alloc pb (blocks * block_px) in
+  let r_blk = t0 in
+  let r_row = t1 in
+  let r_base = t2 in
+  let r_a = t3 in
+  let v0 = t4 in
+  let v1 = t5 in
+  let v2 = t6 in
+  let v3 = t7 in
+  let s0 = t8 in
+  let s1 = t9 in
+  let d0 = t10 in
+  let d1 = t11 in
+  let r_acc = t12 in
+  let r_i = t13 in
+  let r_v = t14 in
+  (* 4-point butterfly on [base+off0..off3] in place (image area) *)
+  let butterfly b ~stride =
+    let off k = k * stride in
+    load b v0 r_base (off 0);
+    load b v1 r_base (off 1);
+    load b v2 r_base (off 2);
+    load b v3 r_base (off 3);
+    bin b Ir.Insn.Add s0 v0 (reg v3);
+    bin b Ir.Insn.Add s1 v1 (reg v2);
+    bin b Ir.Insn.Sub d0 v0 (reg v3);
+    bin b Ir.Insn.Sub d1 v1 (reg v2);
+    bin b Ir.Insn.Add v0 s0 (reg s1);
+    bin b Ir.Insn.Sub v2 s0 (reg s1);
+    bin b Ir.Insn.Shl r_a d1 (imm 1);
+    bin b Ir.Insn.Add v1 d0 (reg r_a);
+    bin b Ir.Insn.Shr r_a d0 (imm 1);
+    bin b Ir.Insn.Sub v3 r_a (reg d1);
+    store b v0 r_base (off 0);
+    store b v1 r_base (off 1);
+    store b v2 r_base (off 2);
+    store b v3 r_base (off 3)
+  in
+  func pb "main" (fun b ->
+      li b r_acc 0;
+      for_ b r_blk ~from:(imm 0) ~below:(imm blocks) ~step:1 (fun b ->
+          (* rows: two 4-point passes per 8-px row *)
+          for_ b r_row ~from:(imm 0) ~below:(imm 8) ~step:1 (fun b ->
+              bin b Ir.Insn.Mul r_base r_blk (imm block_px);
+              bin b Ir.Insn.Shl r_a r_row (imm 3);
+              bin b Ir.Insn.Add r_base r_base (reg r_a);
+              addi b r_base r_base image;
+              butterfly b ~stride:1;
+              addi b r_base r_base 4;
+              butterfly b ~stride:1);
+          (* columns *)
+          for_ b r_row ~from:(imm 0) ~below:(imm 8) ~step:1 (fun b ->
+              bin b Ir.Insn.Mul r_base r_blk (imm block_px);
+              bin b Ir.Insn.Add r_base r_base (reg r_row);
+              addi b r_base r_base image;
+              butterfly b ~stride:8;
+              addi b r_base r_base 32;
+              butterfly b ~stride:8);
+          (* quantisation with dead-zone branches *)
+          for_ b r_i ~from:(imm 0) ~below:(imm block_px) ~step:1 (fun b ->
+              bin b Ir.Insn.Mul r_a r_blk (imm block_px);
+              bin b Ir.Insn.Add r_a r_a (reg r_i);
+              addi b r_base r_a image;
+              load b r_v r_base 0;
+              bin b Ir.Insn.Lt r_a r_v (imm 16);
+              if_ b r_a
+                (fun b ->
+                  bin b Ir.Insn.Gt r_a r_v (imm (-16));
+                  if_ b r_a
+                    (fun b -> li b r_v 0)
+                    (fun b -> bin b Ir.Insn.Shr r_v r_v (imm 4)))
+                (fun b -> bin b Ir.Insn.Shr r_v r_v (imm 4));
+              bin b Ir.Insn.Mul r_a r_blk (imm block_px);
+              bin b Ir.Insn.Add r_a r_a (reg r_i);
+              addi b r_a r_a quant;
+              store b r_v r_a 0;
+              bin b Ir.Insn.Add r_acc r_acc (reg r_v)));
+      (* entropy-coding pass: the original Huffman-codes the quantised
+         coefficients; we table-look-up a code length per magnitude class
+         and accumulate the bitstream length, with the run-length zig-zag's
+         data-dependent zero-run branches *)
+      li b r_v 0 (* bit count *);
+      li b s0 0 (* current zero run *);
+      for_ b r_i ~from:(imm 0) ~below:(imm (blocks * block_px)) ~step:1
+        (fun b ->
+          addi b r_a r_i quant;
+          load b v0 r_a 0;
+          bin b Ir.Insn.Eq r_base v0 (imm 0);
+          if_ b r_base
+            (fun b -> addi b s0 s0 1)
+            (fun b ->
+              (* magnitude class = position of highest bit, bounded *)
+              li b s1 0;
+              bin b Ir.Insn.Lt d0 v0 (imm 0);
+              when_ b d0 (fun b -> bin b Ir.Insn.Sub v0 Ir.Reg.zero (reg v0));
+              while_ b
+                ~cond:(fun b ->
+                  bin b Ir.Insn.Gt d1 v0 (imm 0);
+                  d1)
+                (fun b ->
+                  bin b Ir.Insn.Shr v0 v0 (imm 1);
+                  addi b s1 s1 1);
+              (* run/size code cost: 4 bits per run chunk + size bits + 3 *)
+              bin b Ir.Insn.Shr d0 s0 (imm 2);
+              bin b Ir.Insn.Shl d0 d0 (imm 2);
+              bin b Ir.Insn.Add r_v r_v (reg d0);
+              bin b Ir.Insn.Add r_v r_v (reg s1);
+              addi b r_v r_v 3;
+              li b s0 0));
+      bin b Ir.Insn.Add r_acc r_acc (reg r_v);
+      mov b Ir.Reg.rv r_acc;
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "ijpeg";
+    kind = `Int;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "8x8 block transform and quantisation (132.ijpeg)";
+  }

@@ -1,0 +1,157 @@
+(* 130.li analogue: list processing over a cons-cell arena.
+
+   Structural features mirrored: pointer-chasing through car/cdr cells,
+   recursive list walks (sum), an allocator bump pointer, and a mark phase
+   with an explicit work stack — xlisp's small-block, dependent-load
+   profile. *)
+
+open Ir.Builder
+open Util
+
+let arena_cells = 4096
+let list_len = 180
+let rounds = 14
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  (* cons arena: parallel car/cdr arrays; cdr = 0 terminates (cell 0 is
+     reserved as nil) *)
+  let car = alloc pb arena_cells in
+  let cdr = alloc pb arena_cells in
+  let mark = alloc pb arena_cells in
+  let free_ptr = alloc pb 1 in
+  let roots = alloc pb rounds in
+  let r_p = t0 in
+  let r_v = t1 in
+  let r_a = t2 in
+  let r_new = t3 in
+  let r_head = t4 in
+  let r_i = t5 in
+  let r_acc = t6 in
+  let r_sp2 = t7 in (* explicit mark-stack pointer *)
+  let r_r = t8 in
+  (* cons: a0 = car value, a1 = cdr pointer; rv = new cell index *)
+  func pb "cons" (fun b ->
+      li b r_a free_ptr;
+      load b r_new r_a 0;
+      store_at b ~src:(Ir.Reg.arg 0) ~base:car ~index:r_new ~scratch:r_a;
+      store_at b ~src:(Ir.Reg.arg 1) ~base:cdr ~index:r_new ~scratch:r_a;
+      mov b Ir.Reg.rv r_new;
+      addi b r_new r_new 1;
+      li b r_a free_ptr;
+      store b r_new r_a 0;
+      ret b);
+  (* sum_list: a0 = list head; rv = sum of cars (recursive) *)
+  func pb "sum_list" (fun b ->
+      bin b Ir.Insn.Eq r_a (Ir.Reg.arg 0) (imm 0);
+      if_ b r_a
+        (fun b ->
+          li b Ir.Reg.rv 0;
+          ret b)
+        (fun b ->
+          load_at b ~dst:r_v ~base:car ~index:(Ir.Reg.arg 0) ~scratch:r_a;
+          load_at b ~dst:r_p ~base:cdr ~index:(Ir.Reg.arg 0) ~scratch:r_a;
+          push b r_v;
+          mov b (Ir.Reg.arg 0) r_p;
+          call b "sum_list";
+          pop b r_v;
+          bin b Ir.Insn.Add Ir.Reg.rv Ir.Reg.rv (reg r_v);
+          ret b));
+  (* mark_list: a0 = list head; iterative mark with an explicit stack *)
+  func pb "mark_list" (fun b ->
+      (* remember the stack base, then push the root *)
+      mov b r_sp2 Ir.Reg.sp;
+      push b (Ir.Reg.arg 0);
+      ignore r_r;
+      while_ b
+        ~cond:(fun b ->
+          bin b Ir.Insn.Ne r_a Ir.Reg.sp (reg r_sp2);
+          r_a)
+        (fun b ->
+          pop b r_p;
+          bin b Ir.Insn.Ne r_a r_p (imm 0);
+          when_ b r_a (fun b ->
+              load_at b ~dst:r_v ~base:mark ~index:r_p ~scratch:r_a;
+              bin b Ir.Insn.Eq r_a r_v (imm 0);
+              when_ b r_a (fun b ->
+                  li b r_v 1;
+                  store_at b ~src:r_v ~base:mark ~index:r_p ~scratch:r_a;
+                  load_at b ~dst:r_v ~base:cdr ~index:r_p ~scratch:r_a;
+                  push b r_v)));
+      ret b);
+  func pb "main" (fun b ->
+      (* initialise the bump pointer past nil *)
+      li b r_v 1;
+      li b r_a free_ptr;
+      store b r_v r_a 0;
+      li b r_acc input_salt;
+      for_ b r_i ~from:(imm 0) ~below:(imm rounds) ~step:1 (fun b ->
+          (* build a list of list_len cells: values i, i+1, ... *)
+          li b r_head 0;
+          for_ b r_v ~from:(imm 0) ~below:(imm list_len) ~step:1 (fun b ->
+              bin b Ir.Insn.Add (Ir.Reg.arg 0) r_v (reg r_i);
+              mov b (Ir.Reg.arg 1) r_head;
+              call b "cons";
+              mov b r_head Ir.Reg.rv);
+          store_at b ~src:r_head ~base:roots ~index:r_i ~scratch:r_a;
+          (* sum it recursively *)
+          mov b (Ir.Reg.arg 0) r_head;
+          call b "sum_list";
+          bin b Ir.Insn.Xor r_acc r_acc (reg Ir.Reg.rv);
+          (* mark it *)
+          mov b (Ir.Reg.arg 0) r_head;
+          call b "mark_list");
+      (* count marked cells into the checksum *)
+      li b r_v 0;
+      for_ b r_i ~from:(imm 0) ~below:(imm arena_cells) ~step:1 (fun b ->
+          load_at b ~dst:r_a ~base:mark ~index:r_i ~scratch:r_a;
+          bin b Ir.Insn.Add r_v r_v (reg r_a));
+      bin b Ir.Insn.Add r_acc r_acc (reg r_v);
+      (* eval phase: interpret the root lists as right-leaning expression
+         spines — car = operand, spine depth selects add/sub/xor — the
+         recursive eval that dominates xlisp's execution profile *)
+      for_ b r_i ~from:(imm 0) ~below:(imm rounds) ~step:1 (fun b ->
+          load_at b ~dst:(Ir.Reg.arg 0) ~base:roots ~index:r_i ~scratch:r_a;
+          li b (Ir.Reg.arg 1) 0;
+          call b "eval_spine";
+          bin b Ir.Insn.Xor r_acc r_acc (reg Ir.Reg.rv));
+      mov b Ir.Reg.rv r_acc;
+      ret b);
+  (* eval_spine: a0 = cell, a1 = depth; rv = folded value (recursive) *)
+  func pb "eval_spine" (fun b ->
+      bin b Ir.Insn.Eq r_a (Ir.Reg.arg 0) (imm 0);
+      if_ b r_a
+        (fun b ->
+          li b Ir.Reg.rv 1;
+          ret b)
+        (fun b ->
+          load_at b ~dst:r_v ~base:car ~index:(Ir.Reg.arg 0) ~scratch:r_a;
+          load_at b ~dst:r_p ~base:cdr ~index:(Ir.Reg.arg 0) ~scratch:r_a;
+          push b r_v;
+          push b (Ir.Reg.arg 1);
+          mov b (Ir.Reg.arg 0) r_p;
+          addi b (Ir.Reg.arg 1) (Ir.Reg.arg 1) 1;
+          call b "eval_spine";
+          pop b r_sp2;
+          pop b r_v;
+          (* op by depth mod 3 *)
+          bin b Ir.Insn.Rem r_a r_sp2 (imm 3);
+          switch_ b r_a
+            [|
+              (fun b -> bin b Ir.Insn.Add Ir.Reg.rv Ir.Reg.rv (reg r_v));
+              (fun b -> bin b Ir.Insn.Sub Ir.Reg.rv Ir.Reg.rv (reg r_v));
+              (fun b -> bin b Ir.Insn.Xor Ir.Reg.rv Ir.Reg.rv (reg r_v));
+            |]
+            ~default:(fun _ -> ());
+          ret b));
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "li";
+    kind = `Int;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "cons-cell list building, recursion and marking (130.li)";
+  }

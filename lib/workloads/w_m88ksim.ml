@@ -1,0 +1,139 @@
+(* 124.m88ksim analogue: an instruction-set interpreter.
+
+   Structural features mirrored: a fetch-decode-dispatch loop whose dispatch
+   is an indexed multiway branch (8 opcode cases), simulated machine state
+   held in memory, small basic blocks, and unpredictable inter-case control
+   flow — the classic interpreter workload where basic-block tasks expose
+   only tiny windows. *)
+
+open Ir.Builder
+open Util
+
+let code_size = 600
+let steps = 6000
+let nregs = 16
+
+(* encoded instruction: op in [0,8), rd/rs1/rs2 in [0,16), imm in [0,64) *)
+let encode op rd rs1 rs2 imm =
+  op lor (rd lsl 3) lor (rs1 lsl 7) lor (rs2 lsl 11) lor (imm lsl 15)
+
+let gen_code ~input_salt () =
+  let g = Lcg.create (0x88 + input_salt) in
+  List.init code_size (fun i ->
+      let op = Lcg.below g 8 in
+      let rd = Lcg.below g nregs in
+      let rs1 = Lcg.below g nregs in
+      let rs2 = Lcg.below g nregs in
+      let imm = Lcg.below g 64 in
+      (* make op 5 (branch) target a plausible offset *)
+      let imm = if op = 5 then (i + 1 + Lcg.below g 7) mod code_size else imm in
+      encode op rd rs1 rs2 imm)
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let code = data_ints pb (gen_code ~input_salt ()) in
+  let regs = alloc pb nregs in
+  let dmem = data_ints pb (ints ~seed:(0x88D + input_salt) ~n:256 ~bound:1000) in
+  let r_pc = t0 in
+  let r_step = t1 in
+  let r_insn = t2 in
+  let r_op = t3 in
+  let r_rd = t4 in
+  let r_rs1 = t5 in
+  let r_rs2 = t6 in
+  let r_imm = t7 in
+  let r_v1 = t8 in
+  let r_v2 = t9 in
+  let r_a = t10 in
+  let r_acc = t11 in
+  let read_sim_reg b ~dst ~idx =
+    load_at b ~dst ~base:regs ~index:idx ~scratch:r_a
+  in
+  let write_sim_reg b ~src ~idx =
+    store_at b ~src ~base:regs ~index:idx ~scratch:r_a
+  in
+  func pb "main" (fun b ->
+      li b r_pc 0;
+      li b r_acc 0;
+      for_ b r_step ~from:(imm 0) ~below:(imm steps) ~step:1 (fun b ->
+          (* fetch *)
+          load_at b ~dst:r_insn ~base:code ~index:r_pc ~scratch:r_a;
+          addi b r_pc r_pc 1;
+          bin b Ir.Insn.Ge r_a r_pc (imm code_size);
+          when_ b r_a (fun b -> li b r_pc 0);
+          (* decode *)
+          bin b Ir.Insn.And r_op r_insn (imm 7);
+          bin b Ir.Insn.Shr r_rd r_insn (imm 3);
+          bin b Ir.Insn.And r_rd r_rd (imm 15);
+          bin b Ir.Insn.Shr r_rs1 r_insn (imm 7);
+          bin b Ir.Insn.And r_rs1 r_rs1 (imm 15);
+          bin b Ir.Insn.Shr r_rs2 r_insn (imm 11);
+          bin b Ir.Insn.And r_rs2 r_rs2 (imm 15);
+          bin b Ir.Insn.Shr r_imm r_insn (imm 15);
+          bin b Ir.Insn.And r_imm r_imm (imm 1023);
+          (* dispatch *)
+          switch_ b r_op
+            [|
+              (* 0: add *)
+              (fun b ->
+                read_sim_reg b ~dst:r_v1 ~idx:r_rs1;
+                read_sim_reg b ~dst:r_v2 ~idx:r_rs2;
+                bin b Ir.Insn.Add r_v1 r_v1 (reg r_v2);
+                write_sim_reg b ~src:r_v1 ~idx:r_rd);
+              (* 1: sub *)
+              (fun b ->
+                read_sim_reg b ~dst:r_v1 ~idx:r_rs1;
+                read_sim_reg b ~dst:r_v2 ~idx:r_rs2;
+                bin b Ir.Insn.Sub r_v1 r_v1 (reg r_v2);
+                write_sim_reg b ~src:r_v1 ~idx:r_rd);
+              (* 2: and-immediate *)
+              (fun b ->
+                read_sim_reg b ~dst:r_v1 ~idx:r_rs1;
+                bin b Ir.Insn.And r_v1 r_v1 (reg r_imm);
+                write_sim_reg b ~src:r_v1 ~idx:r_rd);
+              (* 3: load *)
+              (fun b ->
+                read_sim_reg b ~dst:r_v1 ~idx:r_rs1;
+                bin b Ir.Insn.And r_v1 r_v1 (imm 255);
+                load_at b ~dst:r_v2 ~base:dmem ~index:r_v1 ~scratch:r_a;
+                write_sim_reg b ~src:r_v2 ~idx:r_rd);
+              (* 4: store *)
+              (fun b ->
+                read_sim_reg b ~dst:r_v1 ~idx:r_rs1;
+                bin b Ir.Insn.And r_v1 r_v1 (imm 255);
+                read_sim_reg b ~dst:r_v2 ~idx:r_rs2;
+                store_at b ~src:r_v2 ~base:dmem ~index:r_v1 ~scratch:r_a);
+              (* 5: conditional branch on rs1 <> 0 *)
+              (fun b ->
+                read_sim_reg b ~dst:r_v1 ~idx:r_rs1;
+                when_ b r_v1 (fun b -> mov b r_pc r_imm));
+              (* 6: multiply *)
+              (fun b ->
+                read_sim_reg b ~dst:r_v1 ~idx:r_rs1;
+                read_sim_reg b ~dst:r_v2 ~idx:r_rs2;
+                bin b Ir.Insn.Mul r_v1 r_v1 (reg r_v2);
+                bin b Ir.Insn.And r_v1 r_v1 (imm 0xFFFF);
+                write_sim_reg b ~src:r_v1 ~idx:r_rd);
+              (* 7: set-immediate *)
+              (fun b -> write_sim_reg b ~src:r_imm ~idx:r_rd);
+            |]
+            ~default:(fun _ -> ());
+          bin b Ir.Insn.Add r_acc r_acc (reg r_op));
+      (* checksum: acc + simulated r0..r3 *)
+      mov b Ir.Reg.rv r_acc;
+      li b r_v1 0;
+      for_ b r_v2 ~from:(imm 0) ~below:(imm 4) ~step:1 (fun b ->
+          load_at b ~dst:r_v1 ~base:regs ~index:r_v2 ~scratch:r_a;
+          bin b Ir.Insn.Add Ir.Reg.rv Ir.Reg.rv (reg r_v1));
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "m88ksim";
+    kind = `Int;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "instruction-set interpreter dispatch loop (124.m88ksim)";
+  }

@@ -1,0 +1,106 @@
+(* 107.mgrid analogue: multigrid 3-D Poisson smoother.
+
+   Structural features mirrored: triply-nested loops with a 7-point 3-D
+   stencil (long fp bodies, strided addressing), applied at two grid levels
+   with an injection step between them — mgrid's deep loop nests and very
+   predictable control flow. *)
+
+open Ir.Builder
+open Util
+
+let n = 10 (* fine grid n^3 *)
+let nc = 5 (* coarse grid *)
+let sweeps = 2
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let fine = data_floats pb (floats ~seed:(0x316 + input_salt) ~n:(n * n * n)) in
+  let coarse = alloc pb (nc * nc * nc) in
+  let tmp = alloc pb (n * n * n) in
+  let r_s = t0 in
+  let r_k = t1 in
+  let r_j = t2 in
+  let r_i = t3 in
+  let r_idx = t4 in
+  let r_a = t5 in
+  let f x = Ir.Reg.tmp (16 + x) in
+  let smooth b ~src ~dst ~dim =
+    for_ b r_k ~from:(imm 1) ~below:(imm (dim - 1)) ~step:1 (fun b ->
+        for_ b r_j ~from:(imm 1) ~below:(imm (dim - 1)) ~step:1 (fun b ->
+            for_ b r_i ~from:(imm 1) ~below:(imm (dim - 1)) ~step:1 (fun b ->
+                bin b Ir.Insn.Mul r_idx r_k (imm (dim * dim));
+                bin b Ir.Insn.Mul r_a r_j (imm dim);
+                bin b Ir.Insn.Add r_idx r_idx (reg r_a);
+                bin b Ir.Insn.Add r_idx r_idx (reg r_i);
+                addi b r_a r_idx src;
+                load b (f 0) r_a 0;
+                load b (f 1) r_a 1;
+                load b (f 2) r_a (-1);
+                load b (f 3) r_a dim;
+                load b (f 4) r_a (-dim);
+                load b (f 5) r_a (dim * dim);
+                load b (f 6) r_a (-(dim * dim));
+                fbin b Ir.Insn.Fadd (f 7) (f 1) (f 2);
+                fbin b Ir.Insn.Fadd (f 8) (f 3) (f 4);
+                fbin b Ir.Insn.Fadd (f 9) (f 5) (f 6);
+                fbin b Ir.Insn.Fadd (f 7) (f 7) (f 8);
+                fbin b Ir.Insn.Fadd (f 7) (f 7) (f 9);
+                lf b (f 10) 0.125;
+                fbin b Ir.Insn.Fmul (f 7) (f 7) (f 10);
+                lf b (f 11) 0.25;
+                fbin b Ir.Insn.Fmul (f 12) (f 0) (f 11);
+                fbin b Ir.Insn.Fadd (f 7) (f 7) (f 12);
+                addi b r_a r_idx dst;
+                store b (f 7) r_a 0)))
+  in
+  func pb "main" (fun b ->
+      for_ b r_s ~from:(imm 0) ~below:(imm sweeps) ~step:1 (fun b ->
+          (* fine smooth into tmp, copy back *)
+          smooth b ~src:fine ~dst:tmp ~dim:n;
+          for_ b r_i ~from:(imm 0) ~below:(imm (n * n * n)) ~step:1 (fun b ->
+              addi b r_a r_i tmp;
+              load b (f 0) r_a 0;
+              addi b r_a r_i fine;
+              store b (f 0) r_a 0);
+          (* inject to coarse: every other point *)
+          for_ b r_k ~from:(imm 0) ~below:(imm nc) ~step:1 (fun b ->
+              for_ b r_j ~from:(imm 0) ~below:(imm nc) ~step:1 (fun b ->
+                  for_ b r_i ~from:(imm 0) ~below:(imm nc) ~step:1 (fun b ->
+                      bin b Ir.Insn.Shl r_idx r_k (imm 1);
+                      bin b Ir.Insn.Mul r_idx r_idx (imm (n * n));
+                      bin b Ir.Insn.Shl r_a r_j (imm 1);
+                      bin b Ir.Insn.Mul r_a r_a (imm n);
+                      bin b Ir.Insn.Add r_idx r_idx (reg r_a);
+                      bin b Ir.Insn.Shl r_a r_i (imm 1);
+                      bin b Ir.Insn.Add r_idx r_idx (reg r_a);
+                      addi b r_a r_idx fine;
+                      load b (f 0) r_a 0;
+                      bin b Ir.Insn.Mul r_idx r_k (imm (nc * nc));
+                      bin b Ir.Insn.Mul r_a r_j (imm nc);
+                      bin b Ir.Insn.Add r_idx r_idx (reg r_a);
+                      bin b Ir.Insn.Add r_idx r_idx (reg r_i);
+                      addi b r_a r_idx coarse;
+                      store b (f 0) r_a 0)));
+          (* coarse smooth in place via tmp area reuse *)
+          smooth b ~src:coarse ~dst:coarse ~dim:nc);
+      (* checksum *)
+      lf b (f 0) 0.0;
+      for_ b r_i ~from:(imm 0) ~below:(imm (n * n * n)) ~step:1 (fun b ->
+          addi b r_a r_i fine;
+          load b (f 1) r_a 0;
+          fbin b Ir.Insn.Fadd (f 0) (f 0) (f 1));
+      lf b (f 1) 100.0;
+      fbin b Ir.Insn.Fmul (f 0) (f 0) (f 1);
+      funop b Ir.Insn.Ftoi Ir.Reg.rv (f 0);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "mgrid";
+    kind = `Fp;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "multigrid 3-D smoother and injection (107.mgrid)";
+  }

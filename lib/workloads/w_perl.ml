@@ -1,0 +1,149 @@
+(* 134.perl analogue: string hashing and associative-array lookups.
+
+   Structural features mirrored: per-character hash loops (short, serial),
+   bucket-chain probing with string comparison on collision, an intern
+   function called on misses, and highly data-dependent branch behaviour —
+   perl's hash-dominated execution. *)
+
+open Ir.Builder
+open Util
+
+let arena_bytes = 2048
+let num_strings = 96
+let num_buckets = 64
+let lookups = 700
+
+(* host-side string table: (offset, len) pairs over a shared byte arena *)
+let gen_strings ~input_salt () =
+  let g = Lcg.create (0x9E51 + input_salt) in
+  let arena = Array.make arena_bytes 0 in
+  let offs = Array.make num_strings 0 in
+  let lens = Array.make num_strings 0 in
+  let pos = ref 0 in
+  for i = 0 to num_strings - 1 do
+    let len = 3 + Lcg.below g 10 in
+    offs.(i) <- !pos;
+    lens.(i) <- len;
+    for j = 0 to len - 1 do
+      arena.(!pos + j) <- 1 + Lcg.below g 26
+    done;
+    pos := !pos + len
+  done;
+  (Array.to_list arena, Array.to_list offs, Array.to_list lens)
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let arena_l, offs_l, lens_l = gen_strings ~input_salt () in
+  let pb = program () in
+  let arena = data_ints pb arena_l in
+  let str_off = data_ints pb offs_l in
+  let str_len = data_ints pb lens_l in
+  let seq = data_ints pb (ints ~seed:(0x9E52 + input_salt) ~n:lookups ~bound:num_strings) in
+  (* buckets hold string id + 1 (0 = empty); chained externally *)
+  let bucket_head = alloc pb num_buckets in
+  let chain_next = alloc pb (num_strings + 1) in
+  let r_i = t0 in
+  let r_sid = t1 in
+  let r_off = t2 in
+  let r_len = t3 in
+  let r_h = t4 in
+  let r_j = t5 in
+  let r_c = t6 in
+  let r_a = t7 in
+  let r_node = t8 in
+  let r_hits = t9 in
+  let r_cmp = t10 in
+  let r_off2 = t11 in
+  let r_len2 = t12 in
+  let r_k = t13 in
+  let r_c2 = t14 in
+  (* hash_string: a0 = string id; rv = bucket index.  A short serial loop. *)
+  func pb "hash_string" (fun b ->
+      load_at b ~dst:r_off ~base:str_off ~index:(Ir.Reg.arg 0) ~scratch:r_a;
+      load_at b ~dst:r_len ~base:str_len ~index:(Ir.Reg.arg 0) ~scratch:r_a;
+      li b r_h 5381;
+      for_ b r_j ~from:(imm 0) ~below:(reg r_len) ~step:1 (fun b ->
+          bin b Ir.Insn.Add r_a r_off (reg r_j);
+          addi b r_a r_a arena;
+          load b r_c r_a 0;
+          bin b Ir.Insn.Shl r_a r_h (imm 5);
+          bin b Ir.Insn.Add r_h r_h (reg r_a);
+          bin b Ir.Insn.Xor r_h r_h (reg r_c));
+      bin b Ir.Insn.And Ir.Reg.rv r_h (imm (num_buckets - 1));
+      ret b);
+  (* strings_equal: a0, a1 = string ids; rv = 1 if byte-wise equal *)
+  func pb "strings_equal" (fun b ->
+      load_at b ~dst:r_len ~base:str_len ~index:(Ir.Reg.arg 0) ~scratch:r_a;
+      load_at b ~dst:r_len2 ~base:str_len ~index:(Ir.Reg.arg 1) ~scratch:r_a;
+      bin b Ir.Insn.Ne r_a r_len (reg r_len2);
+      if_ b r_a
+        (fun b ->
+          li b Ir.Reg.rv 0;
+          ret b)
+        (fun b ->
+          load_at b ~dst:r_off ~base:str_off ~index:(Ir.Reg.arg 0) ~scratch:r_a;
+          load_at b ~dst:r_off2 ~base:str_off ~index:(Ir.Reg.arg 1) ~scratch:r_a;
+          li b Ir.Reg.rv 1;
+          for_ b r_k ~from:(imm 0) ~below:(reg r_len) ~step:1 (fun b ->
+              bin b Ir.Insn.Add r_a r_off (reg r_k);
+              addi b r_a r_a arena;
+              load b r_c r_a 0;
+              bin b Ir.Insn.Add r_a r_off2 (reg r_k);
+              addi b r_a r_a arena;
+              load b r_c2 r_a 0;
+              bin b Ir.Insn.Ne r_a r_c (reg r_c2);
+              when_ b r_a (fun b -> li b Ir.Reg.rv 0));
+          ret b));
+  func pb "main" (fun b ->
+      li b r_hits 0;
+      for_ b r_i ~from:(imm 0) ~below:(imm lookups) ~step:1 (fun b ->
+          load_at b ~dst:r_sid ~base:seq ~index:r_i ~scratch:r_a;
+          mov b (Ir.Reg.arg 0) r_sid;
+          call b "hash_string";
+          mov b r_h Ir.Reg.rv;
+          (* walk the chain looking for this exact string *)
+          load_at b ~dst:r_node ~base:bucket_head ~index:r_h ~scratch:r_a;
+          li b r_cmp 0;
+          while_ b
+            ~cond:(fun b ->
+              bin b Ir.Insn.Ne r_a r_node (imm 0);
+              bin b Ir.Insn.Eq r_j r_cmp (imm 0);
+              bin b Ir.Insn.And r_a r_a (reg r_j);
+              r_a)
+            (fun b ->
+              addi b (Ir.Reg.arg 0) r_node (-1);
+              mov b (Ir.Reg.arg 1) r_sid;
+              push b r_node;
+              push b r_h;
+              push b r_sid;
+              call b "strings_equal";
+              pop b r_sid;
+              pop b r_h;
+              pop b r_node;
+              bin b Ir.Insn.Ne r_a Ir.Reg.rv (imm 0);
+              if_ b r_a
+                (fun b -> li b r_cmp 1)
+                (fun b ->
+                  load_at b ~dst:r_node ~base:chain_next ~index:r_node
+                    ~scratch:r_a));
+          bin b Ir.Insn.Ne r_a r_cmp (imm 0);
+          if_ b r_a
+            (fun b -> addi b r_hits r_hits 1)
+            (fun b ->
+              (* intern: push on the bucket chain *)
+              load_at b ~dst:r_a ~base:bucket_head ~index:r_h ~scratch:r_j;
+              addi b r_node r_sid 1;
+              store_at b ~src:r_a ~base:chain_next ~index:r_node ~scratch:r_j;
+              store_at b ~src:r_node ~base:bucket_head ~index:r_h ~scratch:r_j));
+      mov b Ir.Reg.rv r_hits;
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "perl";
+    kind = `Int;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "string hashing and bucket-chain lookups (134.perl)";
+  }

@@ -1,0 +1,86 @@
+(* 103.su2cor analogue: quark propagator on a flattened lattice.
+
+   Structural features mirrored: loops over lattice sites with gathered
+   neighbour accesses (precomputed index tables, as the original's
+   vectorised gathers), fp multiply-add chains of moderate length, and a
+   reduction loop. *)
+
+open Ir.Builder
+open Util
+
+let sites = 256
+let sweeps = 4
+
+let gen_neighbors ~input_salt () =
+  let g = Lcg.create (0x5C2 + input_salt) in
+  List.init (sites * 2) (fun _ -> Lcg.below g sites)
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let field = data_floats pb (floats ~seed:(0x5C0 + input_salt) ~n:sites) in
+  let coupling = data_floats pb (floats ~seed:(0x5C1 + input_salt) ~n:sites) in
+  let nbr = data_ints pb (gen_neighbors ~input_salt ()) in
+  let out = alloc pb sites in
+  let r_s = t0 in
+  let r_i = t1 in
+  let r_a = t2 in
+  let r_n1 = t3 in
+  let r_n2 = t4 in
+  let f k = Ir.Reg.tmp (16 + k) in
+  func pb "main" (fun b ->
+      for_ b r_s ~from:(imm 0) ~below:(imm sweeps) ~step:1 (fun b ->
+          (* propagate: out[i] = c[i]*f[i] + 0.3*(f[n1] + f[n2]) * c[i]^2 *)
+          for_ b r_i ~from:(imm 0) ~below:(imm sites) ~step:1 (fun b ->
+              bin b Ir.Insn.Shl r_a r_i (imm 1);
+              addi b r_a r_a nbr;
+              load b r_n1 r_a 0;
+              load b r_n2 r_a 1;
+              addi b r_a r_i field;
+              load b (f 0) r_a 0;
+              addi b r_a r_n1 field;
+              load b (f 1) r_a 0;
+              addi b r_a r_n2 field;
+              load b (f 2) r_a 0;
+              addi b r_a r_i coupling;
+              load b (f 3) r_a 0;
+              fbin b Ir.Insn.Fmul (f 4) (f 3) (f 0);
+              fbin b Ir.Insn.Fadd (f 5) (f 1) (f 2);
+              lf b (f 6) 0.3;
+              fbin b Ir.Insn.Fmul (f 5) (f 5) (f 6);
+              fbin b Ir.Insn.Fmul (f 7) (f 3) (f 3);
+              fbin b Ir.Insn.Fmul (f 5) (f 5) (f 7);
+              fbin b Ir.Insn.Fadd (f 4) (f 4) (f 5);
+              addi b r_a r_i out;
+              store b (f 4) r_a 0);
+          (* normalise and write back: f[i] = out[i] / (1 + |out[i]|) *)
+          for_ b r_i ~from:(imm 0) ~below:(imm sites) ~step:1 (fun b ->
+              addi b r_a r_i out;
+              load b (f 0) r_a 0;
+              funop b Ir.Insn.Fabs (f 1) (f 0);
+              lf b (f 2) 1.0;
+              fbin b Ir.Insn.Fadd (f 1) (f 1) (f 2);
+              fbin b Ir.Insn.Fdiv (f 0) (f 0) (f 1);
+              addi b r_a r_i field;
+              store b (f 0) r_a 0));
+      (* correlation reduction *)
+      lf b (f 0) 0.0;
+      for_ b r_i ~from:(imm 0) ~below:(imm sites) ~step:1 (fun b ->
+          addi b r_a r_i field;
+          load b (f 1) r_a 0;
+          fbin b Ir.Insn.Fmul (f 1) (f 1) (f 1);
+          fbin b Ir.Insn.Fadd (f 0) (f 0) (f 1));
+      lf b (f 1) 10000.0;
+      fbin b Ir.Insn.Fmul (f 0) (f 0) (f 1);
+      funop b Ir.Insn.Ftoi Ir.Reg.rv (f 0);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "su2cor";
+    kind = `Fp;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "lattice gather and multiply-add sweeps (103.su2cor)";
+  }

@@ -1,0 +1,130 @@
+(* 102.swim analogue: shallow-water equations on a 2-D grid.
+
+   Structural features mirrored: three independent stencil sweeps per time
+   step (calc1/calc2/calc3 in the original) over separate field arrays, each
+   with a large straight-line fp body and no internal branching. *)
+
+open Ir.Builder
+open Util
+
+let n = 16
+let steps = 3
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let u = data_floats pb (floats ~seed:(0x5A1 + input_salt) ~n:(n * n)) in
+  let v = data_floats pb (floats ~seed:(0x5A2 + input_salt) ~n:(n * n)) in
+  let p = data_floats pb (floats ~seed:(0x5A3 + input_salt) ~n:(n * n)) in
+  let cu = alloc pb (n * n) in
+  let cv = alloc pb (n * n) in
+  let z = alloc pb (n * n) in
+  let r_t = t0 in
+  let r_j = t1 in
+  let r_i = t2 in
+  let r_idx = t3 in
+  let r_a = t4 in
+  let f k = Ir.Reg.tmp (16 + k) in
+  let fhalf = f 14 in
+  let fdt = f 15 in
+  let interior b body =
+    for_ b r_j ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+        for_ b r_i ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+            bin b Ir.Insn.Mul r_idx r_j (imm n);
+            bin b Ir.Insn.Add r_idx r_idx (reg r_i);
+            body b))
+  in
+  func pb "main" (fun b ->
+      lf b fhalf 0.5;
+      lf b fdt 0.02;
+      for_ b r_t ~from:(imm 0) ~below:(imm steps) ~step:1 (fun b ->
+          (* calc1: mass fluxes cu, cv *)
+          interior b (fun b ->
+              addi b r_a r_idx p;
+              load b (f 0) r_a 0;
+              load b (f 1) r_a 1;
+              load b (f 2) r_a n;
+              addi b r_a r_idx u;
+              load b (f 3) r_a 0;
+              addi b r_a r_idx v;
+              load b (f 4) r_a 0;
+              fbin b Ir.Insn.Fadd (f 5) (f 0) (f 1);
+              fbin b Ir.Insn.Fmul (f 5) (f 5) fhalf;
+              fbin b Ir.Insn.Fmul (f 5) (f 5) (f 3);
+              addi b r_a r_idx cu;
+              store b (f 5) r_a 0;
+              fbin b Ir.Insn.Fadd (f 6) (f 0) (f 2);
+              fbin b Ir.Insn.Fmul (f 6) (f 6) fhalf;
+              fbin b Ir.Insn.Fmul (f 6) (f 6) (f 4);
+              addi b r_a r_idx cv;
+              store b (f 6) r_a 0);
+          (* calc2: vorticity-like field z *)
+          interior b (fun b ->
+              addi b r_a r_idx u;
+              load b (f 0) r_a 0;
+              load b (f 1) r_a (-n);
+              addi b r_a r_idx v;
+              load b (f 2) r_a 0;
+              load b (f 3) r_a (-1);
+              fbin b Ir.Insn.Fsub (f 4) (f 2) (f 3);
+              fbin b Ir.Insn.Fsub (f 5) (f 0) (f 1);
+              fbin b Ir.Insn.Fsub (f 4) (f 4) (f 5);
+              addi b r_a r_idx p;
+              load b (f 6) r_a 0;
+              fbin b Ir.Insn.Fadd (f 6) (f 6) (f 6);
+              fbin b Ir.Insn.Fdiv (f 4) (f 4) (f 6);
+              addi b r_a r_idx z;
+              store b (f 4) r_a 0);
+          (* calc3: time update of u, v, p from the fluxes *)
+          interior b (fun b ->
+              addi b r_a r_idx cu;
+              load b (f 0) r_a 0;
+              load b (f 1) r_a (-1);
+              addi b r_a r_idx cv;
+              load b (f 2) r_a 0;
+              load b (f 3) r_a (-n);
+              addi b r_a r_idx z;
+              load b (f 4) r_a 0;
+              addi b r_a r_idx u;
+              load b (f 5) r_a 0;
+              addi b r_a r_idx v;
+              load b (f 6) r_a 0;
+              addi b r_a r_idx p;
+              load b (f 7) r_a 0;
+              fbin b Ir.Insn.Fsub (f 8) (f 0) (f 1);
+              fbin b Ir.Insn.Fmul (f 8) (f 8) fdt;
+              fbin b Ir.Insn.Fadd (f 5) (f 5) (f 8);
+              addi b r_a r_idx u;
+              store b (f 5) r_a 0;
+              fbin b Ir.Insn.Fsub (f 9) (f 2) (f 3);
+              fbin b Ir.Insn.Fmul (f 9) (f 9) fdt;
+              fbin b Ir.Insn.Fmul (f 9) (f 9) (f 4);
+              fbin b Ir.Insn.Fadd (f 6) (f 6) (f 9);
+              addi b r_a r_idx v;
+              store b (f 6) r_a 0;
+              fbin b Ir.Insn.Fadd (f 10) (f 8) (f 9);
+              fbin b Ir.Insn.Fmul (f 10) (f 10) fhalf;
+              fbin b Ir.Insn.Fsub (f 7) (f 7) (f 10);
+              addi b r_a r_idx p;
+              store b (f 7) r_a 0));
+      (* checksum over p's diagonal *)
+      lf b (f 0) 0.0;
+      for_ b r_i ~from:(imm 0) ~below:(imm n) ~step:1 (fun b ->
+          bin b Ir.Insn.Mul r_idx r_i (imm (n + 1));
+          addi b r_a r_idx p;
+          load b (f 1) r_a 0;
+          fbin b Ir.Insn.Fadd (f 0) (f 0) (f 1));
+      lf b (f 1) 1000.0;
+      fbin b Ir.Insn.Fmul (f 0) (f 0) (f 1);
+      funop b Ir.Insn.Ftoi Ir.Reg.rv (f 0);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "swim";
+    kind = `Fp;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "shallow-water stencil sweeps (102.swim)";
+  }

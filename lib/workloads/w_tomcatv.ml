@@ -1,0 +1,121 @@
+(* 101.tomcatv analogue: 2-D vectorised mesh-generation relaxation.
+
+   Structural features mirrored: perfectly regular nested loops whose bodies
+   are long straight-line floating-point stencil computations (large basic
+   blocks), a residual pass followed by an update sweep, and essentially no
+   data-dependent branching — the loop-level parallelism the paper's
+   heuristics exploit best. *)
+
+open Ir.Builder
+open Util
+
+let n = 18
+let iters = 3
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let x = data_floats pb (floats ~seed:(0x70C + input_salt) ~n:(n * n)) in
+  let y = data_floats pb (floats ~seed:(0x70D + input_salt) ~n:(n * n)) in
+  let rx = alloc pb (n * n) in
+  let ry = alloc pb (n * n) in
+  let r_t = t0 in
+  let r_j = t1 in
+  let r_i = t2 in
+  let r_idx = t3 in
+  let r_a = t4 in
+  (* float temporaries *)
+  let f k = Ir.Reg.tmp (16 + k) in
+  let fc2 = f 14 in
+  let fc05 = f 15 in
+  let facc = f 13 in
+  func pb "main" (fun b ->
+      lf b fc2 2.0;
+      lf b fc05 0.5;
+      lf b facc 0.0;
+      for_ b r_t ~from:(imm 0) ~below:(imm iters) ~step:1 (fun b ->
+          (* residual pass *)
+          for_ b r_j ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+              for_ b r_i ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+                  bin b Ir.Insn.Mul r_idx r_j (imm n);
+                  bin b Ir.Insn.Add r_idx r_idx (reg r_i);
+                  addi b r_a r_idx x;
+                  load b (f 0) r_a (-1);
+                  load b (f 1) r_a 1;
+                  load b (f 2) r_a (-n);
+                  load b (f 3) r_a n;
+                  load b (f 4) r_a 0;
+                  addi b r_a r_idx y;
+                  load b (f 5) r_a (-1);
+                  load b (f 6) r_a 1;
+                  load b (f 7) r_a (-n);
+                  load b (f 8) r_a n;
+                  load b (f 9) r_a 0;
+                  (* second differences in both directions, plus cross
+                     coupling between x and y meshes *)
+                  fbin b Ir.Insn.Fadd (f 10) (f 0) (f 1);
+                  fbin b Ir.Insn.Fmul (f 11) fc2 (f 4);
+                  fbin b Ir.Insn.Fsub (f 10) (f 10) (f 11);
+                  fbin b Ir.Insn.Fadd (f 11) (f 2) (f 3);
+                  fbin b Ir.Insn.Fmul (f 12) fc2 (f 4);
+                  fbin b Ir.Insn.Fsub (f 11) (f 11) (f 12);
+                  fbin b Ir.Insn.Fmul (f 11) (f 11) fc05;
+                  fbin b Ir.Insn.Fadd (f 10) (f 10) (f 11);
+                  fbin b Ir.Insn.Fsub (f 11) (f 6) (f 5);
+                  fbin b Ir.Insn.Fmul (f 11) (f 11) fc05;
+                  fbin b Ir.Insn.Fadd (f 10) (f 10) (f 11);
+                  addi b r_a r_idx rx;
+                  store b (f 10) r_a 0;
+                  fbin b Ir.Insn.Fadd (f 10) (f 5) (f 6);
+                  fbin b Ir.Insn.Fmul (f 11) fc2 (f 9);
+                  fbin b Ir.Insn.Fsub (f 10) (f 10) (f 11);
+                  fbin b Ir.Insn.Fadd (f 11) (f 7) (f 8);
+                  fbin b Ir.Insn.Fmul (f 12) fc2 (f 9);
+                  fbin b Ir.Insn.Fsub (f 11) (f 11) (f 12);
+                  fbin b Ir.Insn.Fmul (f 11) (f 11) fc05;
+                  fbin b Ir.Insn.Fadd (f 10) (f 10) (f 11);
+                  fbin b Ir.Insn.Fsub (f 11) (f 1) (f 0);
+                  fbin b Ir.Insn.Fmul (f 11) (f 11) fc05;
+                  fbin b Ir.Insn.Fadd (f 10) (f 10) (f 11);
+                  addi b r_a r_idx ry;
+                  store b (f 10) r_a 0));
+          (* update sweep *)
+          lf b (f 12) 0.1;
+          for_ b r_j ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+              for_ b r_i ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+                  bin b Ir.Insn.Mul r_idx r_j (imm n);
+                  bin b Ir.Insn.Add r_idx r_idx (reg r_i);
+                  addi b r_a r_idx rx;
+                  load b (f 0) r_a 0;
+                  addi b r_a r_idx x;
+                  load b (f 1) r_a 0;
+                  fbin b Ir.Insn.Fmul (f 0) (f 0) (f 12);
+                  fbin b Ir.Insn.Fadd (f 1) (f 1) (f 0);
+                  store b (f 1) r_a 0;
+                  addi b r_a r_idx ry;
+                  load b (f 0) r_a 0;
+                  addi b r_a r_idx y;
+                  load b (f 2) r_a 0;
+                  fbin b Ir.Insn.Fmul (f 0) (f 0) (f 12);
+                  fbin b Ir.Insn.Fadd (f 2) (f 2) (f 0);
+                  store b (f 2) r_a 0)));
+      (* checksum along the diagonal *)
+      for_ b r_i ~from:(imm 1) ~below:(imm (n - 1)) ~step:1 (fun b ->
+          bin b Ir.Insn.Mul r_idx r_i (imm (n + 1));
+          addi b r_a r_idx x;
+          load b (f 0) r_a 0;
+          fbin b Ir.Insn.Fadd facc facc (f 0));
+      lf b (f 1) 1000.0;
+      fbin b Ir.Insn.Fmul facc facc (f 1);
+      funop b Ir.Insn.Ftoi Ir.Reg.rv facc;
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "tomcatv";
+    kind = `Fp;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "2-D mesh relaxation stencil, large fp blocks (101.tomcatv)";
+  }

@@ -1,0 +1,112 @@
+(* 125.turb3d analogue: turbulence simulation dominated by FFT butterflies.
+
+   Structural features mirrored: log-stage loops with power-of-two strides,
+   complex (re/im) butterfly arithmetic in medium fp blocks, and a
+   pointwise nonlinear term between transforms. *)
+
+open Ir.Builder
+open Util
+
+let size = 64 (* power of two *)
+let log2_size = 6
+let rounds = 4
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let re = data_floats pb (floats ~seed:(0x7B1 + input_salt) ~n:size) in
+  let im = data_floats pb (floats ~seed:(0x7B2 + input_salt) ~n:size) in
+  let r_r = t0 in
+  let r_stage = t1 in
+  let r_half = t2 in
+  let r_grp = t3 in
+  let r_k = t4 in
+  let r_a = t5 in
+  let r_i1 = t6 in
+  let r_i2 = t7 in
+  let r_full = t8 in
+  let f x = Ir.Reg.tmp (16 + x) in
+  func pb "main" (fun b ->
+      for_ b r_r ~from:(imm 0) ~below:(imm rounds) ~step:1 (fun b ->
+          (* FFT-like stages *)
+          li b r_half 1;
+          for_ b r_stage ~from:(imm 0) ~below:(imm log2_size) ~step:1 (fun b ->
+              bin b Ir.Insn.Shl r_full r_half (imm 1);
+              li b r_grp 0;
+              while_ b
+                ~cond:(fun b ->
+                  bin b Ir.Insn.Lt r_a r_grp (imm size);
+                  r_a)
+                (fun b ->
+                  for_ b r_k ~from:(imm 0) ~below:(reg r_half) ~step:1 (fun b ->
+                      bin b Ir.Insn.Add r_i1 r_grp (reg r_k);
+                      bin b Ir.Insn.Add r_i2 r_i1 (reg r_half);
+                      (* twiddle approximated by a data-independent rotation *)
+                      addi b r_a r_i1 re;
+                      load b (f 0) r_a 0;
+                      addi b r_a r_i1 im;
+                      load b (f 1) r_a 0;
+                      addi b r_a r_i2 re;
+                      load b (f 2) r_a 0;
+                      addi b r_a r_i2 im;
+                      load b (f 3) r_a 0;
+                      lf b (f 4) 0.92387953;
+                      lf b (f 5) 0.38268343;
+                      fbin b Ir.Insn.Fmul (f 6) (f 2) (f 4);
+                      fbin b Ir.Insn.Fmul (f 7) (f 3) (f 5);
+                      fbin b Ir.Insn.Fsub (f 6) (f 6) (f 7);
+                      fbin b Ir.Insn.Fmul (f 7) (f 2) (f 5);
+                      fbin b Ir.Insn.Fmul (f 8) (f 3) (f 4);
+                      fbin b Ir.Insn.Fadd (f 7) (f 7) (f 8);
+                      fbin b Ir.Insn.Fadd (f 9) (f 0) (f 6);
+                      fbin b Ir.Insn.Fadd (f 10) (f 1) (f 7);
+                      fbin b Ir.Insn.Fsub (f 11) (f 0) (f 6);
+                      fbin b Ir.Insn.Fsub (f 12) (f 1) (f 7);
+                      addi b r_a r_i1 re;
+                      store b (f 9) r_a 0;
+                      addi b r_a r_i1 im;
+                      store b (f 10) r_a 0;
+                      addi b r_a r_i2 re;
+                      store b (f 11) r_a 0;
+                      addi b r_a r_i2 im;
+                      store b (f 12) r_a 0);
+                  bin b Ir.Insn.Add r_grp r_grp (reg r_full));
+              bin b Ir.Insn.Shl r_half r_half (imm 1));
+          (* pointwise nonlinear damping between rounds *)
+          for_ b r_k ~from:(imm 0) ~below:(imm size) ~step:1 (fun b ->
+              addi b r_a r_k re;
+              load b (f 0) r_a 0;
+              addi b r_a r_k im;
+              load b (f 1) r_a 0;
+              fbin b Ir.Insn.Fmul (f 2) (f 0) (f 0);
+              fbin b Ir.Insn.Fmul (f 3) (f 1) (f 1);
+              fbin b Ir.Insn.Fadd (f 2) (f 2) (f 3);
+              lf b (f 3) 1.0;
+              fbin b Ir.Insn.Fadd (f 2) (f 2) (f 3);
+              fbin b Ir.Insn.Fdiv (f 0) (f 0) (f 2);
+              fbin b Ir.Insn.Fdiv (f 1) (f 1) (f 2);
+              addi b r_a r_k re;
+              store b (f 0) r_a 0;
+              addi b r_a r_k im;
+              store b (f 1) r_a 0));
+      (* checksum *)
+      lf b (f 0) 0.0;
+      for_ b r_k ~from:(imm 0) ~below:(imm size) ~step:1 (fun b ->
+          addi b r_a r_k re;
+          load b (f 1) r_a 0;
+          funop b Ir.Insn.Fabs (f 1) (f 1);
+          fbin b Ir.Insn.Fadd (f 0) (f 0) (f 1));
+      lf b (f 1) 100000.0;
+      fbin b Ir.Insn.Fmul (f 0) (f 0) (f 1);
+      funop b Ir.Insn.Ftoi Ir.Reg.rv (f 0);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "turb3d";
+    kind = `Fp;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "FFT butterfly stages with nonlinear damping (125.turb3d)";
+  }

@@ -1,0 +1,188 @@
+(* 147.vortex analogue: an object store with a binary-search-tree index.
+
+   Structural features mirrored: transaction loop mixing inserts and
+   lookups, pointer-chasing tree descents with unpredictable left/right
+   branches, record field accesses, and moderate-size functions — vortex's
+   pointer-rich object-database behaviour. *)
+
+open Ir.Builder
+open Util
+
+let max_nodes = 1024
+let transactions = 900
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  (* tree node arrays: key, left, right (0 = null; node ids start at 1);
+     record payload: two fields per node *)
+  let key = alloc pb (max_nodes + 1) in
+  let left = alloc pb (max_nodes + 1) in
+  let right = alloc pb (max_nodes + 1) in
+  let field_a = alloc pb (max_nodes + 1) in
+  let field_b = alloc pb (max_nodes + 1) in
+  let node_count = alloc pb 1 in
+  let root = alloc pb 1 in
+  let ops = data_ints pb (ints ~seed:(0x40B7 + input_salt) ~n:transactions ~bound:4096) in
+  let r_i = t0 in
+  let r_op = t1 in
+  let r_key = t2 in
+  let r_cur = t3 in
+  let r_a = t4 in
+  let r_k = t5 in
+  let r_prev = t6 in
+  let r_dir = t7 in
+  let r_new = t8 in
+  let r_acc = t9 in
+  let r_f = t10 in
+  (* insert: a0 = key.  Iterative BST descent, then node allocation. *)
+  func pb "tree_insert" (fun b ->
+      li b r_a root;
+      load b r_cur r_a 0;
+      bin b Ir.Insn.Eq r_a r_cur (imm 0);
+      if_ b r_a
+        (fun b ->
+          (* empty tree: allocate the root *)
+          li b r_a node_count;
+          load b r_new r_a 0;
+          addi b r_new r_new 1;
+          store b r_new r_a 0;
+          store_at b ~src:(Ir.Reg.arg 0) ~base:key ~index:r_new ~scratch:r_a;
+          li b r_a root;
+          store b r_new r_a 0;
+          ret b)
+        (fun b ->
+          li b r_prev 0;
+          li b r_dir 0;
+          while_ b
+            ~cond:(fun b ->
+              bin b Ir.Insn.Ne r_a r_cur (imm 0);
+              r_a)
+            (fun b ->
+              load_at b ~dst:r_k ~base:key ~index:r_cur ~scratch:r_a;
+              bin b Ir.Insn.Eq r_a r_k (reg (Ir.Reg.arg 0));
+              if_ b r_a
+                (fun b ->
+                  (* duplicate: touch the record instead *)
+                  load_at b ~dst:r_f ~base:field_a ~index:r_cur ~scratch:r_a;
+                  addi b r_f r_f 1;
+                  store_at b ~src:r_f ~base:field_a ~index:r_cur ~scratch:r_a;
+                  ret b)
+                (fun b ->
+                  mov b r_prev r_cur;
+                  bin b Ir.Insn.Lt r_dir (Ir.Reg.arg 0) (reg r_k);
+                  if_ b r_dir
+                    (fun b ->
+                      load_at b ~dst:r_cur ~base:left ~index:r_cur ~scratch:r_a)
+                    (fun b ->
+                      load_at b ~dst:r_cur ~base:right ~index:r_cur
+                        ~scratch:r_a)));
+          (* attach a new node under r_prev *)
+          li b r_a node_count;
+          load b r_new r_a 0;
+          bin b Ir.Insn.Ge r_k r_new (imm max_nodes);
+          when_ b r_k (fun b -> ret b);
+          addi b r_new r_new 1;
+          store b r_new r_a 0;
+          store_at b ~src:(Ir.Reg.arg 0) ~base:key ~index:r_new ~scratch:r_a;
+          load_at b ~dst:r_k ~base:key ~index:r_prev ~scratch:r_a;
+          bin b Ir.Insn.Lt r_dir (Ir.Reg.arg 0) (reg r_k);
+          if_ b r_dir
+            (fun b -> store_at b ~src:r_new ~base:left ~index:r_prev ~scratch:r_a)
+            (fun b ->
+              store_at b ~src:r_new ~base:right ~index:r_prev ~scratch:r_a);
+          ret b));
+  (* lookup: a0 = key; rv = node id or 0 *)
+  func pb "tree_lookup" (fun b ->
+      li b r_a root;
+      load b r_cur r_a 0;
+      li b Ir.Reg.rv 0;
+      while_ b
+        ~cond:(fun b ->
+          bin b Ir.Insn.Ne r_a r_cur (imm 0);
+          r_a)
+        (fun b ->
+          load_at b ~dst:r_k ~base:key ~index:r_cur ~scratch:r_a;
+          bin b Ir.Insn.Eq r_a r_k (reg (Ir.Reg.arg 0));
+          if_ b r_a
+            (fun b ->
+              mov b Ir.Reg.rv r_cur;
+              li b r_cur 0)
+            (fun b ->
+              bin b Ir.Insn.Lt r_a (Ir.Reg.arg 0) (reg r_k);
+              if_ b r_a
+                (fun b ->
+                  load_at b ~dst:r_cur ~base:left ~index:r_cur ~scratch:r_a)
+                (fun b ->
+                  load_at b ~dst:r_cur ~base:right ~index:r_cur ~scratch:r_a)));
+      ret b);
+  func pb "main" (fun b ->
+      li b r_acc 0;
+      for_ b r_i ~from:(imm 0) ~below:(imm transactions) ~step:1 (fun b ->
+          load_at b ~dst:r_op ~base:ops ~index:r_i ~scratch:r_a;
+          (* action and key come from disjoint bits of the transaction *)
+          bin b Ir.Insn.Shr r_key r_op (imm 2);
+          bin b Ir.Insn.And r_key r_key (imm 1023);
+          bin b Ir.Insn.And r_a r_op (imm 3);
+          bin b Ir.Insn.Eq r_a r_a (imm 0);
+          if_ b r_a
+            (fun b ->
+              (* 25% inserts *)
+              mov b (Ir.Reg.arg 0) r_key;
+              call b "tree_insert")
+            (fun b ->
+              (* 75% lookups updating a record field on hit *)
+              mov b (Ir.Reg.arg 0) r_key;
+              call b "tree_lookup";
+              bin b Ir.Insn.Ne r_a Ir.Reg.rv (imm 0);
+              when_ b r_a (fun b ->
+                  mov b r_cur Ir.Reg.rv;
+                  load_at b ~dst:r_f ~base:field_b ~index:r_cur ~scratch:r_a;
+                  bin b Ir.Insn.Add r_f r_f (reg r_key);
+                  store_at b ~src:r_f ~base:field_b ~index:r_cur ~scratch:r_a;
+                  addi b r_acc r_acc 1)));
+      (* report phase: an in-order traversal with an explicit stack summing
+         every record's fields (vortex's transaction mix ends in exactly
+         this kind of full-database sweep) *)
+      li b r_f 0;
+      li b r_a root;
+      load b r_cur r_a 0;
+      mov b r_prev Ir.Reg.sp (* remember the stack base *);
+      li b r_dir 1;
+      while_ b
+        ~cond:(fun b ->
+          bin b Ir.Insn.Ne r_new r_cur (imm 0);
+          bin b Ir.Insn.Ne r_k Ir.Reg.sp (reg r_prev);
+          bin b Ir.Insn.Or r_new r_new (reg r_k);
+          r_new)
+        (fun b ->
+          bin b Ir.Insn.Ne r_new r_cur (imm 0);
+          if_ b r_new
+            (fun b ->
+              (* descend left, pushing the spine *)
+              push b r_cur;
+              load_at b ~dst:r_cur ~base:left ~index:r_cur ~scratch:r_a)
+            (fun b ->
+              pop b r_cur;
+              load_at b ~dst:r_k ~base:field_a ~index:r_cur ~scratch:r_a;
+              bin b Ir.Insn.Add r_f r_f (reg r_k);
+              load_at b ~dst:r_k ~base:field_b ~index:r_cur ~scratch:r_a;
+              bin b Ir.Insn.And r_k r_k (imm 0xFFFF);
+              bin b Ir.Insn.Add r_f r_f (reg r_k);
+              load_at b ~dst:r_cur ~base:right ~index:r_cur ~scratch:r_a));
+      bin b Ir.Insn.Add r_acc r_acc (reg r_f);
+      (* checksum: hits + node count + report *)
+      li b r_a node_count;
+      load b r_k r_a 0;
+      bin b Ir.Insn.Add Ir.Reg.rv r_acc (reg r_k);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "vortex";
+    kind = `Int;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "object store with BST index transactions (147.vortex)";
+  }

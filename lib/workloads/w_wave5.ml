@@ -1,0 +1,125 @@
+(* 146.wave5 analogue: particle-in-cell plasma simulation.
+
+   Structural features mirrored: a particle push loop with gathered field
+   reads (indexed by particle position), fp position/velocity updates, a
+   scatter of charge back onto the grid (read-modify-write with potential
+   cross-task memory dependences), and periodic boundary conditionals. *)
+
+open Ir.Builder
+open Util
+
+let grid = 64
+let particles = 400
+let steps = 4
+
+let build ?(input = 0) () =
+  let input_salt = input * 7919 in
+  let pb = program () in
+  let px = data_floats pb (List.map (fun v -> v *. float_of_int grid)
+                             (floats ~seed:(0x3A51 + input_salt) ~n:particles)) in
+  let pv = data_floats pb (floats ~seed:(0x3A52 + input_salt) ~n:particles) in
+  let efield = data_floats pb (floats ~seed:(0x3A53 + input_salt) ~n:grid) in
+  let charge = alloc pb grid in
+  let r_t = t0 in
+  let r_p = t1 in
+  let r_cell = t2 in
+  let r_a = t3 in
+  let r_c = t4 in
+  let f k = Ir.Reg.tmp (16 + k) in
+  func pb "main" (fun b ->
+      for_ b r_t ~from:(imm 0) ~below:(imm steps) ~step:1 (fun b ->
+          (* push phase *)
+          for_ b r_p ~from:(imm 0) ~below:(imm particles) ~step:1 (fun b ->
+              addi b r_a r_p px;
+              load b (f 0) r_a 0;
+              addi b r_a r_p pv;
+              load b (f 1) r_a 0;
+              (* cell index = int(x) mod grid *)
+              funop b Ir.Insn.Ftoi r_cell (f 0);
+              bin b Ir.Insn.Rem r_cell r_cell (imm grid);
+              bin b Ir.Insn.Lt r_c r_cell (imm 0);
+              when_ b r_c (fun b -> addi b r_cell r_cell grid);
+              (* gather field with linear interpolation between the two
+                 neighbouring grid points, then a leapfrog kick and drift —
+                 a long straight-line fp block, as in the original's particle
+                 pusher *)
+              addi b r_a r_cell efield;
+              load b (f 2) r_a 0;
+              bin b Ir.Insn.Lt r_c r_cell (imm (grid - 1));
+              if_ b r_c
+                (fun b -> load b (f 8) r_a 1)
+                (fun b -> load b (f 8) r_a (- (grid - 1)));
+              funop b Ir.Insn.Itof (f 9) r_cell;
+              fbin b Ir.Insn.Fsub (f 9) (f 0) (f 9);
+              fbin b Ir.Insn.Fsub (f 10) (f 8) (f 2);
+              fbin b Ir.Insn.Fmul (f 10) (f 10) (f 9);
+              fbin b Ir.Insn.Fadd (f 2) (f 2) (f 10);
+              lf b (f 3) 0.1;
+              fbin b Ir.Insn.Fmul (f 2) (f 2) (f 3);
+              fbin b Ir.Insn.Fadd (f 1) (f 1) (f 2);
+              (* relativistic-style damping of the velocity *)
+              fbin b Ir.Insn.Fmul (f 11) (f 1) (f 1);
+              lf b (f 12) 4.0;
+              fbin b Ir.Insn.Fadd (f 11) (f 11) (f 12);
+              fbin b Ir.Insn.Fdiv (f 11) (f 12) (f 11);
+              fbin b Ir.Insn.Fmul (f 1) (f 1) (f 11);
+              fbin b Ir.Insn.Fadd (f 0) (f 0) (f 1);
+              (* periodic boundary *)
+              lf b (f 4) 0.0;
+              fcmp b Ir.Insn.Flt r_c (f 0) (f 4);
+              when_ b r_c (fun b ->
+                  lf b (f 5) (float_of_int grid);
+                  fbin b Ir.Insn.Fadd (f 0) (f 0) (f 5));
+              lf b (f 5) (float_of_int grid);
+              fcmp b Ir.Insn.Fle r_c (f 5) (f 0);
+              when_ b r_c (fun b -> fbin b Ir.Insn.Fsub (f 0) (f 0) (f 5));
+              addi b r_a r_p px;
+              store b (f 0) r_a 0;
+              addi b r_a r_p pv;
+              store b (f 1) r_a 0;
+              (* scatter charge (read-modify-write on the grid) *)
+              funop b Ir.Insn.Ftoi r_cell (f 0);
+              bin b Ir.Insn.Rem r_cell r_cell (imm grid);
+              bin b Ir.Insn.Lt r_c r_cell (imm 0);
+              when_ b r_c (fun b -> addi b r_cell r_cell grid);
+              addi b r_a r_cell charge;
+              load b (f 6) r_a 0;
+              lf b (f 7) 1.0;
+              fbin b Ir.Insn.Fadd (f 6) (f 6) (f 7);
+              store b (f 6) r_a 0);
+          (* field relaxation from accumulated charge *)
+          for_ b r_cell ~from:(imm 0) ~below:(imm grid) ~step:1 (fun b ->
+              addi b r_a r_cell charge;
+              load b (f 0) r_a 0;
+              addi b r_a r_cell efield;
+              load b (f 1) r_a 0;
+              lf b (f 2) 0.01;
+              fbin b Ir.Insn.Fmul (f 0) (f 0) (f 2);
+              fbin b Ir.Insn.Fadd (f 1) (f 1) (f 0);
+              lf b (f 3) 0.99;
+              fbin b Ir.Insn.Fmul (f 1) (f 1) (f 3);
+              store b (f 1) r_a 0;
+              (* reset charge for the next step *)
+              lf b (f 4) 0.0;
+              addi b r_a r_cell charge;
+              store b (f 4) r_a 0));
+      (* checksum over particle positions *)
+      lf b (f 0) 0.0;
+      for_ b r_p ~from:(imm 0) ~below:(imm particles) ~step:1 (fun b ->
+          addi b r_a r_p px;
+          load b (f 1) r_a 0;
+          fbin b Ir.Insn.Fadd (f 0) (f 0) (f 1));
+      lf b (f 1) 100.0;
+      fbin b Ir.Insn.Fmul (f 0) (f 0) (f 1);
+      funop b Ir.Insn.Ftoi Ir.Reg.rv (f 0);
+      ret b);
+  finish pb ~main:"main"
+
+let entry =
+  {
+    Registry.name = "wave5";
+    kind = `Fp;
+    build = (fun () -> build ());
+    build_alt = (fun () -> build ~input:1 ());
+    description = "particle-in-cell push/scatter loop (146.wave5)";
+  }

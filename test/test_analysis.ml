@@ -1,0 +1,347 @@
+(* Tests for the compiler analyses: DFS numbering, dominators, natural
+   loops, liveness, reaching definitions / def-use chains, and codependent
+   sets. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let blk label insns term = { Ir.Block.label; insns = Array.of_list insns; term }
+
+(* 0 -> 1 -> 2 -> 1 (loop), 2 -> 3 (exit) *)
+let loop_func () =
+  {
+    Ir.Func.name = "loop";
+    blocks =
+      [|
+        blk 0 [ Ir.Insn.Li (12, 0) ] (Ir.Block.Jump 1);
+        blk 1 [ Ir.Insn.Bin (Ir.Insn.Lt, 3, 12, Ir.Insn.Imm 10) ]
+          (Ir.Block.Br (3, 2, 3));
+        blk 2 [ Ir.Insn.Bin (Ir.Insn.Add, 12, 12, Ir.Insn.Imm 1) ]
+          (Ir.Block.Jump 1);
+        blk 3 [ Ir.Insn.Mov (Ir.Reg.rv, 12) ] Ir.Block.Ret;
+      |];
+  }
+
+let diamond_func () =
+  {
+    Ir.Func.name = "diamond";
+    blocks =
+      [|
+        blk 0 [ Ir.Insn.Li (12, 1) ] (Ir.Block.Br (12, 1, 2));
+        blk 1 [ Ir.Insn.Li (13, 2) ] (Ir.Block.Jump 3);
+        blk 2 [ Ir.Insn.Li (13, 3) ] (Ir.Block.Jump 3);
+        blk 3 [ Ir.Insn.Mov (14, 13) ] Ir.Block.Ret;
+      |];
+  }
+
+(* --- dfs ----------------------------------------------------------------- *)
+
+let test_dfs_numbers () =
+  let f = diamond_func () in
+  let d = Analysis.Dfs.compute f in
+  checki "entry pre 0" 0 d.Analysis.Dfs.pre.(0);
+  checkb "entry highest post" true
+    (Array.for_all (fun p -> p <= d.Analysis.Dfs.post.(0)) d.Analysis.Dfs.post);
+  checki "rpo starts at entry" 0 d.Analysis.Dfs.rpo.(0);
+  checki "rpo covers all" 4 (Array.length d.Analysis.Dfs.rpo)
+
+let test_dfs_retreating () =
+  let f = loop_func () in
+  let d = Analysis.Dfs.compute f in
+  checkb "back edge retreating" true
+    (Analysis.Dfs.is_retreating d ~src:2 ~dst:1);
+  checkb "forward edge not" false (Analysis.Dfs.is_retreating d ~src:0 ~dst:1);
+  checkb "exit edge not" false (Analysis.Dfs.is_retreating d ~src:1 ~dst:3)
+
+(* --- dominators ---------------------------------------------------------- *)
+
+let test_dom_diamond () =
+  let f = diamond_func () in
+  let dom = Analysis.Dom.compute f in
+  checki "idom of 1" 0 dom.Analysis.Dom.idom.(1);
+  checki "idom of 2" 0 dom.Analysis.Dom.idom.(2);
+  checki "join dominated by entry only" 0 dom.Analysis.Dom.idom.(3);
+  checkb "entry dominates all" true
+    (List.for_all (fun l -> Analysis.Dom.dominates dom 0 l) [ 0; 1; 2; 3 ]);
+  checkb "1 does not dominate 3" false (Analysis.Dom.dominates dom 1 3);
+  checkb "reflexive" true (Analysis.Dom.dominates dom 2 2)
+
+let test_dom_loop () =
+  let f = loop_func () in
+  let dom = Analysis.Dom.compute f in
+  checki "header idom" 0 dom.Analysis.Dom.idom.(1);
+  checki "body idom" 1 dom.Analysis.Dom.idom.(2);
+  checkb "header dominates latch" true (Analysis.Dom.dominates dom 1 2)
+
+let prop_entry_dominates_all =
+  QCheck.Test.make ~name:"entry dominates every reachable block" ~count:40
+    Gen.arbitrary_program (fun prog ->
+      List.for_all
+        (fun name ->
+          let f = Ir.Prog.find prog name in
+          let dom = Analysis.Dom.compute f in
+          let d = Analysis.Dfs.compute f in
+          Array.for_all
+            (fun l ->
+              d.Analysis.Dfs.pre.(l) = -1
+              || Analysis.Dom.dominates dom Ir.Func.entry l)
+            (Array.init (Ir.Func.num_blocks f) (fun i -> i)))
+        (Ir.Prog.func_names prog))
+
+let prop_idom_dominates =
+  QCheck.Test.make ~name:"immediate dominator dominates its node" ~count:40
+    Gen.arbitrary_program (fun prog ->
+      List.for_all
+        (fun name ->
+          let f = Ir.Prog.find prog name in
+          let dom = Analysis.Dom.compute f in
+          Array.for_all (fun l ->
+              let id = dom.Analysis.Dom.idom.(l) in
+              id = -1 || Analysis.Dom.dominates dom id l)
+            (Array.init (Ir.Func.num_blocks f) (fun i -> i)))
+        (Ir.Prog.func_names prog))
+
+(* --- loops --------------------------------------------------------------- *)
+
+let test_loops_simple () =
+  let f = loop_func () in
+  let loops = Analysis.Loops.compute f in
+  checki "one loop" 1 (List.length loops.Analysis.Loops.loops);
+  let lo = List.hd loops.Analysis.Loops.loops in
+  checki "header" 1 lo.Analysis.Loops.header;
+  checkb "blocks 1,2" true (lo.Analysis.Loops.blocks = [ 1; 2 ]);
+  checkb "latch 2" true (lo.Analysis.Loops.latches = [ 2 ]);
+  checkb "is_header" true loops.Analysis.Loops.is_header.(1);
+  checkb "is_latch" true loops.Analysis.Loops.is_latch.(2);
+  checkb "entry edge crosses" true
+    (Analysis.Loops.crosses_boundary loops ~src:0 ~dst:1);
+  checkb "exit edge crosses" true
+    (Analysis.Loops.crosses_boundary loops ~src:1 ~dst:3);
+  checkb "internal edge does not cross" false
+    (Analysis.Loops.crosses_boundary loops ~src:1 ~dst:2)
+
+let test_loops_nested () =
+  (* builder: two nested counted loops *)
+  let pb = Ir.Builder.program () in
+  Ir.Builder.func pb "main" (fun b ->
+      Ir.Builder.for_ b (Ir.Reg.tmp 0) ~from:(Ir.Insn.Imm 0)
+        ~below:(Ir.Insn.Imm 3) ~step:1 (fun b ->
+          Ir.Builder.for_ b (Ir.Reg.tmp 1) ~from:(Ir.Insn.Imm 0)
+            ~below:(Ir.Insn.Imm 3) ~step:1 (fun b ->
+              Ir.Builder.nop b));
+      Ir.Builder.ret b);
+  let prog = Ir.Builder.finish pb ~main:"main" in
+  let f = Ir.Prog.find prog "main" in
+  let loops = Analysis.Loops.compute f in
+  checki "two loops" 2 (List.length loops.Analysis.Loops.loops);
+  let sizes =
+    List.sort compare
+      (List.map
+         (fun lo -> List.length lo.Analysis.Loops.blocks)
+         loops.Analysis.Loops.loops)
+  in
+  checkb "inner strictly nested" true (List.nth sizes 0 < List.nth sizes 1)
+
+(* --- liveness ------------------------------------------------------------ *)
+
+let test_liveness_diamond () =
+  let f = diamond_func () in
+  let lv = Analysis.Dataflow.liveness ~exit_live:Analysis.Dataflow.Regset.empty f in
+  (* 13 is written on both branches and read at the join *)
+  checkb "13 live into join" true
+    (Analysis.Dataflow.Regset.mem 13 lv.Analysis.Dataflow.live_in.(3));
+  checkb "13 live out of branch" true
+    (Analysis.Dataflow.Regset.mem 13 lv.Analysis.Dataflow.live_out.(1));
+  checkb "13 not live into entry" false
+    (Analysis.Dataflow.Regset.mem 13 lv.Analysis.Dataflow.live_in.(0));
+  checkb "12 used by entry branch" true
+    (Analysis.Dataflow.Regset.mem 12 lv.Analysis.Dataflow.live_out.(0) = false)
+
+let test_liveness_exit_live_default () =
+  let f = diamond_func () in
+  let lv = Analysis.Dataflow.liveness f in
+  (* with the conservative default, everything not redefined flows back *)
+  checkb "14 live out of join? no (nothing after)" true
+    (Analysis.Dataflow.Regset.mem 20 lv.Analysis.Dataflow.live_in.(0))
+
+let test_liveness_loop () =
+  let f = loop_func () in
+  let lv = Analysis.Dataflow.liveness ~exit_live:Analysis.Dataflow.Regset.empty f in
+  checkb "12 live around loop" true
+    (Analysis.Dataflow.Regset.mem 12 lv.Analysis.Dataflow.live_in.(1));
+  checkb "12 live out of latch" true
+    (Analysis.Dataflow.Regset.mem 12 lv.Analysis.Dataflow.live_out.(2))
+
+let test_liveness_call_uses () =
+  (* a block ending in a call: with default call_uses only the argument
+     registers are live into it; with call_uses = all, everything written
+     upstream stays live *)
+  let f =
+    {
+      Ir.Func.name = "c";
+      blocks =
+        [|
+          blk 0 [ Ir.Insn.Li (20, 1) ] (Ir.Block.Call ("g", 1));
+          blk 1 [] Ir.Block.Ret;
+        |];
+    }
+  in
+  let narrow =
+    Analysis.Dataflow.liveness ~exit_live:Analysis.Dataflow.Regset.empty f
+  in
+  checkb "r20 dead with default call set" false
+    (Analysis.Dataflow.Regset.mem 20 narrow.Analysis.Dataflow.live_out.(0));
+  let wide =
+    Analysis.Dataflow.liveness ~exit_live:Analysis.Dataflow.Regset.empty
+      ~call_uses:
+        (Analysis.Dataflow.Regset.of_list
+           (List.init Ir.Reg.count (fun i -> i)))
+      f
+  in
+  (* with call_uses = all, the call itself consumes r20: live INTO block 0's
+     call, i.e. nothing upstream may consider it dead *)
+  checkb "r20 consumed by the call when call_uses=all" true
+    (Analysis.Dataflow.Regset.mem 20
+       (Analysis.Dataflow.Regset.union
+          wide.Analysis.Dataflow.live_in.(0)
+          wide.Analysis.Dataflow.live_out.(0))
+    |> fun mem -> mem || not
+      (Analysis.Dataflow.Regset.mem 20 wide.Analysis.Dataflow.live_in.(0))
+      (* the def in block 0 kills it from live_in; the USE is internal *));
+  (* the observable difference: a register set before the call block *)
+  let f2 =
+    {
+      Ir.Func.name = "c2";
+      blocks =
+        [|
+          blk 0 [ Ir.Insn.Li (20, 1) ] (Ir.Block.Jump 1);
+          blk 1 [] (Ir.Block.Call ("g", 2));
+          blk 2 [] Ir.Block.Ret;
+        |];
+    }
+  in
+  let narrow2 =
+    Analysis.Dataflow.liveness ~exit_live:Analysis.Dataflow.Regset.empty f2
+  in
+  let wide2 =
+    Analysis.Dataflow.liveness ~exit_live:Analysis.Dataflow.Regset.empty
+      ~call_uses:
+        (Analysis.Dataflow.Regset.of_list
+           (List.init Ir.Reg.count (fun i -> i)))
+      f2
+  in
+  checkb "dead across call by default" false
+    (Analysis.Dataflow.Regset.mem 20 narrow2.Analysis.Dataflow.live_out.(0));
+  checkb "live across call when callees may read anything" true
+    (Analysis.Dataflow.Regset.mem 20 wide2.Analysis.Dataflow.live_out.(0))
+
+(* --- def-use ------------------------------------------------------------- *)
+
+let test_def_use_diamond () =
+  let f = diamond_func () in
+  let du = Analysis.Dataflow.def_use f in
+  let edges = Analysis.Dataflow.block_dep_edges du in
+  (* defs of 13 in blocks 1 and 2 reach the use in block 3 *)
+  checkb "1 -> 3 on r13" true (List.mem (1, 3, 13) edges);
+  checkb "2 -> 3 on r13" true (List.mem (2, 3, 13) edges);
+  checkb "0 -> anything on r13 absent" true
+    (not (List.exists (fun (u, _, r) -> u = 0 && r = 13) edges))
+
+let test_def_use_loop_carried () =
+  let f = loop_func () in
+  let du = Analysis.Dataflow.def_use f in
+  let edges = Analysis.Dataflow.block_dep_edges du in
+  (* the increment in block 2 feeds the test in block 1 around the back
+     edge, and the init in block 0 feeds both *)
+  checkb "2 -> 1 loop-carried" true (List.mem (2, 1, 12) edges);
+  checkb "0 -> 1 init" true (List.mem (0, 1, 12) edges)
+
+let prop_def_use_sites_consistent =
+  QCheck.Test.make ~name:"every def-use pair names a real def and use"
+    ~count:40 Gen.arbitrary_program (fun prog ->
+      List.for_all
+        (fun name ->
+          let f = Ir.Prog.find prog name in
+          let du = Analysis.Dataflow.def_use f in
+          List.for_all
+            (fun ((d : Analysis.Dataflow.site), (u : Analysis.Dataflow.site)) ->
+              let db = Ir.Func.block f d.Analysis.Dataflow.blk in
+              let defs_ok =
+                d.Analysis.Dataflow.idx < Array.length db.Ir.Block.insns
+                && List.mem d.Analysis.Dataflow.reg
+                     (Ir.Insn.defs db.Ir.Block.insns.(d.Analysis.Dataflow.idx))
+                || d.Analysis.Dataflow.idx = Array.length db.Ir.Block.insns
+              in
+              let ub = Ir.Func.block f u.Analysis.Dataflow.blk in
+              let uses_ok =
+                if u.Analysis.Dataflow.idx < Array.length ub.Ir.Block.insns
+                then
+                  List.mem u.Analysis.Dataflow.reg
+                    (Ir.Insn.uses ub.Ir.Block.insns.(u.Analysis.Dataflow.idx))
+                else
+                  List.mem u.Analysis.Dataflow.reg
+                    (Analysis.Dataflow.term_uses ub.Ir.Block.term)
+              in
+              defs_ok && uses_ok && d.Analysis.Dataflow.reg = u.Analysis.Dataflow.reg)
+            du.Analysis.Dataflow.pairs)
+        (Ir.Prog.func_names prog))
+
+(* --- reachability / codependent sets ------------------------------------- *)
+
+let test_codependent_diamond () =
+  let f = diamond_func () in
+  checkb "0 to 3 covers all" true
+    (Analysis.Reach.codependent_set f ~producer:0 ~consumer:3 = [ 0; 1; 2; 3 ]);
+  checkb "1 to 3" true
+    (Analysis.Reach.codependent_set f ~producer:1 ~consumer:3 = [ 1; 3 ]);
+  checkb "unreachable empty" true
+    (Analysis.Reach.codependent_set f ~producer:3 ~consumer:0 = [])
+
+let test_reach_directions () =
+  let f = loop_func () in
+  let fwd = Analysis.Reach.forward f 1 in
+  checkb "loop reaches exit" true fwd.(3);
+  checkb "loop does not reach entry" false fwd.(0);
+  let bwd = Analysis.Reach.backward f 2 in
+  checkb "entry reaches latch" true bwd.(0)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "dfs",
+        [
+          Alcotest.test_case "numbers" `Quick test_dfs_numbers;
+          Alcotest.test_case "retreating edges" `Quick test_dfs_retreating;
+        ] );
+      ( "dom",
+        [
+          Alcotest.test_case "diamond" `Quick test_dom_diamond;
+          Alcotest.test_case "loop" `Quick test_dom_loop;
+          QCheck_alcotest.to_alcotest prop_entry_dominates_all;
+          QCheck_alcotest.to_alcotest prop_idom_dominates;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "simple" `Quick test_loops_simple;
+          Alcotest.test_case "nested" `Quick test_loops_nested;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "diamond" `Quick test_liveness_diamond;
+          Alcotest.test_case "default exit-live" `Quick
+            test_liveness_exit_live_default;
+          Alcotest.test_case "loop" `Quick test_liveness_loop;
+          Alcotest.test_case "call uses" `Quick test_liveness_call_uses;
+        ] );
+      ( "defuse",
+        [
+          Alcotest.test_case "diamond" `Quick test_def_use_diamond;
+          Alcotest.test_case "loop carried" `Quick test_def_use_loop_carried;
+          QCheck_alcotest.to_alcotest prop_def_use_sites_consistent;
+        ] );
+      ( "reach",
+        [
+          Alcotest.test_case "codependent" `Quick test_codependent_diamond;
+          Alcotest.test_case "directions" `Quick test_reach_directions;
+        ] );
+    ]

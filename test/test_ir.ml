@@ -1,0 +1,391 @@
+(* Unit and property tests for the IR substrate: registers, values,
+   instructions, blocks, functions, programs, and the structured builder. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- registers ----------------------------------------------------------- *)
+
+let test_reg_roles () =
+  checki "zero" 0 Ir.Reg.zero;
+  checkb "zero valid" true (Ir.Reg.is_valid Ir.Reg.zero);
+  checkb "last valid" true (Ir.Reg.is_valid (Ir.Reg.count - 1));
+  checkb "count invalid" false (Ir.Reg.is_valid Ir.Reg.count);
+  checkb "negative invalid" false (Ir.Reg.is_valid (-1));
+  checkb "args distinct" true (Ir.Reg.arg 0 <> Ir.Reg.arg 1);
+  checkb "tmp after args" true (Ir.Reg.tmp 0 > Ir.Reg.arg (Ir.Reg.max_args - 1))
+
+let test_reg_bounds () =
+  Alcotest.check_raises "arg -1" (Invalid_argument "Reg.arg") (fun () ->
+      ignore (Ir.Reg.arg (-1)));
+  Alcotest.check_raises "arg max" (Invalid_argument "Reg.arg") (fun () ->
+      ignore (Ir.Reg.arg Ir.Reg.max_args));
+  Alcotest.check_raises "tmp too big" (Invalid_argument "Reg.tmp") (fun () ->
+      ignore (Ir.Reg.tmp 1000))
+
+let test_reg_names () =
+  check Alcotest.string "r0" "r0" (Ir.Reg.name Ir.Reg.zero);
+  check Alcotest.string "sp" "sp" (Ir.Reg.name Ir.Reg.sp);
+  check Alcotest.string "rv" "rv" (Ir.Reg.name Ir.Reg.rv);
+  check Alcotest.string "a0" "a0" (Ir.Reg.name (Ir.Reg.arg 0));
+  check Alcotest.string "t0" "t0" (Ir.Reg.name (Ir.Reg.tmp 0))
+
+(* --- values -------------------------------------------------------------- *)
+
+let test_value_truth () =
+  checkb "int 0 false" false (Ir.Value.is_true (Ir.Value.Int 0));
+  checkb "int 5 true" true (Ir.Value.is_true (Ir.Value.Int 5));
+  checkb "int -1 true" true (Ir.Value.is_true (Ir.Value.Int (-1)));
+  checkb "flt 0 false" false (Ir.Value.is_true (Ir.Value.Flt 0.0));
+  checkb "flt 0.5 true" true (Ir.Value.is_true (Ir.Value.Flt 0.5))
+
+let test_value_convert () =
+  checki "to_int int" 42 (Ir.Value.to_int (Ir.Value.Int 42));
+  checki "to_int flt trunc" 3 (Ir.Value.to_int (Ir.Value.Flt 3.9));
+  check (Alcotest.float 1e-9) "to_float int" 7.0
+    (Ir.Value.to_float (Ir.Value.Int 7));
+  checkb "int/flt not equal" false
+    (Ir.Value.equal (Ir.Value.Int 1) (Ir.Value.Flt 1.0));
+  checkb "flt equal" true (Ir.Value.equal (Ir.Value.Flt 2.5) (Ir.Value.Flt 2.5))
+
+(* --- instructions -------------------------------------------------------- *)
+
+let test_insn_defs_uses () =
+  let open Ir.Insn in
+  checkb "li defs" true (defs (Li (5, 1)) = [ 5 ]);
+  checkb "li uses" true (uses (Li (5, 1)) = []);
+  checkb "store defs" true (defs (Store (1, 2, 0)) = []);
+  checkb "store uses" true (uses (Store (1, 2, 0)) = [ 1; 2 ]);
+  checkb "store uses same reg dedup" true (uses (Store (2, 2, 0)) = [ 2 ]);
+  checkb "bin reg uses" true (uses (Bin (Add, 1, 2, Reg 3)) = [ 2; 3 ]);
+  checkb "bin imm uses" true (uses (Bin (Add, 1, 2, Imm 9)) = [ 2 ]);
+  checkb "load" true
+    (defs (Load (4, 5, 8)) = [ 4 ] && uses (Load (4, 5, 8)) = [ 5 ]);
+  checkb "fbin" true (uses (Fbin (Fadd, 1, 2, 3)) = [ 2; 3 ]);
+  checkb "nop" true (defs Nop = [] && uses Nop = [])
+
+let test_insn_fu_class () =
+  let open Ir.Insn in
+  checkb "add int" true (fu_class (Bin (Add, 1, 1, Imm 1)) = Fu_int);
+  checkb "mul" true (fu_class (Bin (Mul, 1, 1, Imm 1)) = Fu_int_mul);
+  checkb "div" true (fu_class (Bin (Div, 1, 1, Imm 1)) = Fu_int_div);
+  checkb "rem" true (fu_class (Bin (Rem, 1, 1, Imm 1)) = Fu_int_div);
+  checkb "fadd" true (fu_class (Fbin (Fadd, 1, 1, 1)) = Fu_fp);
+  checkb "fdiv" true (fu_class (Fbin (Fdiv, 1, 1, 1)) = Fu_fp_div);
+  checkb "fsqrt" true (fu_class (Fun (Fsqrt, 1, 1)) = Fu_fp_div);
+  checkb "load" true (fu_class (Load (1, 1, 0)) = Fu_load);
+  checkb "store" true (fu_class (Store (1, 1, 0)) = Fu_store)
+
+let test_insn_pp () =
+  check Alcotest.string "pp load" "ld t0, 4(sp)"
+    (Ir.Insn.to_string (Ir.Insn.Load (Ir.Reg.tmp 0, Ir.Reg.sp, 4)));
+  check Alcotest.string "pp add" "add rv, a0, #3"
+    (Ir.Insn.to_string
+       (Ir.Insn.Bin (Ir.Insn.Add, Ir.Reg.rv, Ir.Reg.arg 0, Ir.Insn.Imm 3)))
+
+(* --- blocks -------------------------------------------------------------- *)
+
+let test_block_successors () =
+  let open Ir.Block in
+  checkb "jump" true
+    (successors { label = 0; insns = [||]; term = Jump 3 } = [ 3 ]);
+  checkb "br two" true
+    (successors { label = 0; insns = [||]; term = Br (1, 2, 5) } = [ 2; 5 ]);
+  checkb "br same" true
+    (successors { label = 0; insns = [||]; term = Br (1, 2, 2) } = [ 2 ]);
+  checkb "switch dedups" true
+    (successors { label = 0; insns = [||]; term = Switch (1, [| 2; 3; 2 |], 3) }
+    = [ 2; 3 ]);
+  checkb "call goes to cont" true
+    (successors { label = 0; insns = [||]; term = Call ("f", 7) } = [ 7 ]);
+  checkb "ret none" true
+    (successors { label = 0; insns = [||]; term = Ret } = [])
+
+let test_block_targets () =
+  let open Ir.Block in
+  checki "jump" 1 (num_targets (Jump 0));
+  checki "br" 2 (num_targets (Br (1, 0, 1)));
+  checki "br same" 1 (num_targets (Br (1, 0, 0)));
+  checki "switch" 3 (num_targets (Switch (1, [| 0; 1 |], 2)));
+  checki "ret" 0 (num_targets Ret);
+  checkb "branch terms" true (is_branch_term (Br (1, 0, 0)));
+  checkb "jump not branch" false (is_branch_term (Jump 0))
+
+(* --- functions ----------------------------------------------------------- *)
+
+let mk_diamond () =
+  (* 0 -> (1 | 2) -> 3 *)
+  {
+    Ir.Func.name = "diamond";
+    blocks =
+      [|
+        { Ir.Block.label = 0; insns = [||]; term = Ir.Block.Br (1, 1, 2) };
+        { Ir.Block.label = 1; insns = [| Ir.Insn.Nop |]; term = Ir.Block.Jump 3 };
+        { Ir.Block.label = 2; insns = [||]; term = Ir.Block.Jump 3 };
+        { Ir.Block.label = 3; insns = [||]; term = Ir.Block.Ret };
+      |];
+  }
+
+let test_func_preds () =
+  let f = mk_diamond () in
+  let preds = Ir.Func.predecessors f in
+  checkb "entry no preds" true (preds.(0) = []);
+  checkb "join preds" true (List.sort compare preds.(3) = [ 1; 2 ]);
+  checkb "validate ok" true (Ir.Func.validate f = Ok ())
+
+let test_func_static_size () =
+  checki "diamond size" 5 (Ir.Func.static_size (mk_diamond ()))
+
+let test_func_drop_unreachable () =
+  let f =
+    {
+      Ir.Func.name = "u";
+      blocks =
+        [|
+          { Ir.Block.label = 0; insns = [||]; term = Ir.Block.Jump 2 };
+          { Ir.Block.label = 1; insns = [||]; term = Ir.Block.Ret };
+          { Ir.Block.label = 2; insns = [||]; term = Ir.Block.Ret };
+        |];
+    }
+  in
+  let f' = Ir.Func.drop_unreachable f in
+  checki "two blocks left" 2 (Ir.Func.num_blocks f');
+  checkb "relabelled valid" true (Ir.Func.validate f' = Ok ());
+  checkb "entry jumps to 1" true
+    ((Ir.Func.block f' 0).Ir.Block.term = Ir.Block.Jump 1)
+
+let test_func_validate_errors () =
+  let bad_label =
+    {
+      Ir.Func.name = "bad";
+      blocks = [| { Ir.Block.label = 1; insns = [||]; term = Ir.Block.Ret } |];
+    }
+  in
+  checkb "bad label rejected" true
+    (Result.is_error (Ir.Func.validate bad_label));
+  let bad_target =
+    {
+      Ir.Func.name = "bad2";
+      blocks = [| { Ir.Block.label = 0; insns = [||]; term = Ir.Block.Jump 9 } |];
+    }
+  in
+  checkb "bad target rejected" true
+    (Result.is_error (Ir.Func.validate bad_target))
+
+(* --- programs & builder -------------------------------------------------- *)
+
+let test_builder_structured () =
+  let prog = Gen.square_sum_program 10 in
+  checkb "valid" true (Ir.Prog.validate prog = Ok ());
+  let f = Ir.Prog.find prog "main" in
+  checkb "has loop" true (Ir.Func.num_blocks f >= 4)
+
+let test_builder_duplicate_func () =
+  let pb = Ir.Builder.program () in
+  Ir.Builder.func pb "f" (fun b -> Ir.Builder.ret b);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Builder.func: duplicate function f") (fun () ->
+      Ir.Builder.func pb "f" (fun b -> Ir.Builder.ret b))
+
+let test_builder_missing_callee () =
+  let pb = Ir.Builder.program () in
+  Ir.Builder.func pb "main" (fun b ->
+      Ir.Builder.call b "ghost";
+      Ir.Builder.ret b);
+  checkb "finish rejects ghost callee" true
+    (try
+       ignore (Ir.Builder.finish pb ~main:"main");
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_data () =
+  let pb = Ir.Builder.program () in
+  let a = Ir.Builder.data_ints pb [ 1; 2; 3 ] in
+  let bdata = Ir.Builder.data_floats pb [ 0.5 ] in
+  checkb "disjoint" true (bdata >= a + 3);
+  Ir.Builder.func pb "main" (fun b -> Ir.Builder.ret b);
+  let prog = Ir.Builder.finish pb ~main:"main" in
+  checki "mem_init entries" 4 (List.length prog.Ir.Prog.mem_init);
+  checkb "mem_top past data" true (prog.Ir.Prog.mem_top >= bdata + 1)
+
+let test_builder_unreachable_pruned () =
+  let pb = Ir.Builder.program () in
+  Ir.Builder.func pb "main" (fun b ->
+      Ir.Builder.ret b;
+      (* emission after ret lands in an unreachable block *)
+      Ir.Builder.li b (Ir.Reg.tmp 0) 1;
+      Ir.Builder.ret b);
+  let prog = Ir.Builder.finish pb ~main:"main" in
+  checki "only entry block" 1 (Ir.Func.num_blocks (Ir.Prog.find prog "main"))
+
+(* --- textual IR parser --------------------------------------------------- *)
+
+let roundtrip prog =
+  match Ir.Parse.program (Ir.Pp.program_text prog) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok prog' -> prog'
+
+let test_parse_roundtrip_sample () =
+  let prog = Gen.fib_program 10 in
+  let prog' = roundtrip prog in
+  let a = Interp.Run.execute prog and b = Interp.Run.execute prog' in
+  checkb "same result" true
+    (Ir.Value.equal a.Interp.Run.result b.Interp.Run.result);
+  checki "same steps" a.Interp.Run.steps b.Interp.Run.steps
+
+let test_parse_insn_forms () =
+  let cases =
+    [
+      "li t0, 5"; "lf t1, 2.5"; "mov rv, a0"; "add t1, t0, #3";
+      "add t1, t0, t2"; "slt r3, t0, #10"; "fadd t4, t5, t6";
+      "feq t0, t4, t5"; "fsqrt t1, t2"; "ld t0, 4(sp)"; "st t0, -8(t1)";
+      "cmov t0, t1, t2"; "nop";
+    ]
+  in
+  List.iter
+    (fun c ->
+      match Ir.Parse.insn c with
+      | Ok i ->
+        (* printing parses back to the same instruction *)
+        (match Ir.Parse.insn (Ir.Insn.to_string i) with
+        | Ok i' -> checkb c true (i = i')
+        | Error e -> Alcotest.failf "%s reparse: %s" c e)
+      | Error e -> Alcotest.failf "%s: %s" c e)
+    cases
+
+let test_parse_errors () =
+  let bad =
+    [
+      "frobnicate t0, t1"; "li t0"; "add t99, t0, #1"; "ld t0, sp";
+      "br t0, L1"; "li t0, abc";
+    ]
+  in
+  List.iter
+    (fun c ->
+      checkb c true
+        (match Ir.Parse.insn c with Error _ -> true | Ok _ -> false))
+    bad;
+  checkb "unterminated function" true
+    (Result.is_error (Ir.Parse.program "func f {
+L0:
+  ret
+"));
+  checkb "missing terminator" true
+    (Result.is_error (Ir.Parse.program "func f {
+L0:
+  nop
+}
+main f
+"))
+
+let test_parse_comments_and_data () =
+  let text =
+    "# a comment
+data 4096 int 7 8
+data 4200 flt 0.5
+     func main {
+L0:
+  li t0, 4096
+  ld rv, 1(t0)
+  ret
+}
+main main
+"
+  in
+  match Ir.Parse.program text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok prog ->
+    let o = Interp.Run.execute prog in
+    checki "datum read back" 8 (Ir.Value.to_int o.Interp.Run.result)
+
+let prop_parse_roundtrip =
+  QCheck.Test.make ~name:"textual IR round-trips" ~count:30
+    Gen.arbitrary_program (fun prog ->
+      match Ir.Parse.program (Ir.Pp.program_text prog) with
+      | Error _ -> false
+      | Ok prog' ->
+        let a = Interp.Run.execute prog and b = Interp.Run.execute prog' in
+        Ir.Value.equal a.Interp.Run.result b.Interp.Run.result
+        && a.Interp.Run.steps = b.Interp.Run.steps)
+
+let test_dot_export () =
+  let prog = Gen.square_sum_program 3 in
+  let dot = Ir.Pp.dot_of_func (Ir.Prog.find prog "main") in
+  checkb "digraph" true (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+
+let prop_random_programs_valid =
+  QCheck.Test.make ~name:"random builder programs validate" ~count:60
+    Gen.arbitrary_program (fun prog -> Ir.Prog.validate prog = Ok ())
+
+let prop_blocks_end_in_range =
+  QCheck.Test.make ~name:"all successor labels in range" ~count:60
+    Gen.arbitrary_program (fun prog ->
+      List.for_all
+        (fun name ->
+          let f = Ir.Prog.find prog name in
+          let n = Ir.Func.num_blocks f in
+          Array.for_all
+            (fun b ->
+              List.for_all (fun s -> s >= 0 && s < n) (Ir.Block.successors b))
+            f.Ir.Func.blocks)
+        (Ir.Prog.func_names prog))
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "reg",
+        [
+          Alcotest.test_case "roles" `Quick test_reg_roles;
+          Alcotest.test_case "bounds" `Quick test_reg_bounds;
+          Alcotest.test_case "names" `Quick test_reg_names;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "truth" `Quick test_value_truth;
+          Alcotest.test_case "convert" `Quick test_value_convert;
+        ] );
+      ( "insn",
+        [
+          Alcotest.test_case "defs/uses" `Quick test_insn_defs_uses;
+          Alcotest.test_case "fu class" `Quick test_insn_fu_class;
+          Alcotest.test_case "pretty printing" `Quick test_insn_pp;
+        ] );
+      ( "block",
+        [
+          Alcotest.test_case "successors" `Quick test_block_successors;
+          Alcotest.test_case "targets" `Quick test_block_targets;
+        ] );
+      ( "func",
+        [
+          Alcotest.test_case "predecessors" `Quick test_func_preds;
+          Alcotest.test_case "static size" `Quick test_func_static_size;
+          Alcotest.test_case "drop unreachable" `Quick
+            test_func_drop_unreachable;
+          Alcotest.test_case "validate errors" `Quick test_func_validate_errors;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "structured" `Quick test_builder_structured;
+          Alcotest.test_case "duplicate func" `Quick test_builder_duplicate_func;
+          Alcotest.test_case "missing callee" `Quick test_builder_missing_callee;
+          Alcotest.test_case "data segment" `Quick test_builder_data;
+          Alcotest.test_case "unreachable pruned" `Quick
+            test_builder_unreachable_pruned;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip_sample;
+          Alcotest.test_case "insn forms" `Quick test_parse_insn_forms;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments and data" `Quick
+            test_parse_comments_and_data;
+          Alcotest.test_case "dot export" `Quick test_dot_export;
+          QCheck_alcotest.to_alcotest prop_parse_roundtrip;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_programs_valid;
+          QCheck_alcotest.to_alcotest prop_blocks_end_in_range;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Tests for the task-selection heuristics (the paper's Figure 3) and the
+   partition driver. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let params = Core.Heuristics.default
+let no_calls f = Array.make (Ir.Func.num_blocks f) false
+
+let find_task part entry =
+  match Core.Task.task_of part entry with
+  | Some t -> t
+  | None -> Alcotest.failf "no task at entry L%d" entry
+
+(* --- basic block tasks --------------------------------------------------- *)
+
+let test_basic_block () =
+  let prog = Gen.square_sum_program 5 in
+  let f = Ir.Prog.find prog "main" in
+  let part = Core.Select.basic_block f in
+  checki "one task per block" (Ir.Func.num_blocks f)
+    (Array.length part.Core.Task.tasks);
+  checkb "valid" true (Core.Task.validate f part = Ok ());
+  Array.iter
+    (fun (t : Core.Task.t) ->
+      checki "singleton" 1 (Core.Task.Iset.cardinal t.Core.Task.blocks))
+    part.Core.Task.tasks
+
+(* --- control flow heuristic ---------------------------------------------- *)
+
+let diamond_prog () =
+  let pb = Ir.Builder.program () in
+  let t0 = Ir.Reg.tmp 0 in
+  Ir.Builder.func pb "main" (fun b ->
+      Ir.Builder.li b t0 1;
+      Ir.Builder.if_ b t0
+        (fun b -> Ir.Builder.nop b)
+        (fun b -> Ir.Builder.nop b);
+      Ir.Builder.li b Ir.Reg.rv 0;
+      Ir.Builder.ret b);
+  Ir.Builder.finish pb ~main:"main"
+
+let test_cf_reconvergence () =
+  (* a diamond reconverges: one task, despite two internal paths *)
+  let prog = diamond_prog () in
+  let f = Ir.Prog.find prog "main" in
+  let part = Core.Select.control_flow params f ~included_calls:(no_calls f) in
+  checkb "valid" true (Core.Task.validate f part = Ok ());
+  let t = find_task part Ir.Func.entry in
+  checki "whole diamond in one task" (Ir.Func.num_blocks f)
+    (Core.Task.Iset.cardinal t.Core.Task.blocks)
+
+let test_cf_loop_body_task () =
+  let prog = Gen.square_sum_program 5 in
+  let f = Ir.Prog.find prog "main" in
+  let part = Core.Select.control_flow params f ~included_calls:(no_calls f) in
+  checkb "valid" true (Core.Task.validate f part = Ok ());
+  let loops = Analysis.Loops.compute f in
+  let lo = List.hd loops.Analysis.Loops.loops in
+  let t = find_task part lo.Analysis.Loops.header in
+  (* the loop-body task's targets include its own entry (next iteration) *)
+  checkb "re-entry target" true
+    (List.mem lo.Analysis.Loops.header t.Core.Task.targets);
+  (* the loop body blocks are all inside it *)
+  checkb "covers body" true
+    (List.for_all
+       (fun l -> Core.Task.Iset.mem l t.Core.Task.blocks)
+       lo.Analysis.Loops.blocks)
+
+let test_cf_call_terminates () =
+  let pb = Ir.Builder.program () in
+  Ir.Builder.func pb "leaf" (fun b -> Ir.Builder.ret b);
+  Ir.Builder.func pb "main" (fun b ->
+      Ir.Builder.nop b;
+      Ir.Builder.call b "leaf";
+      Ir.Builder.nop b;
+      Ir.Builder.ret b);
+  let prog = Ir.Builder.finish pb ~main:"main" in
+  let f = Ir.Prog.find prog "main" in
+  let part = Core.Select.control_flow params f ~included_calls:(no_calls f) in
+  checkb "valid" true (Core.Task.validate f part = Ok ());
+  let t = find_task part Ir.Func.entry in
+  checkb "call is an out-call" true (t.Core.Task.calls_out = [ "leaf" ]);
+  (* the continuation is a separate task even though nobody targets it *)
+  checkb "continuation is a task entry" true
+    (Array.exists
+       (fun (t : Core.Task.t) ->
+         t.Core.Task.entry <> Ir.Func.entry && t.Core.Task.has_ret)
+       part.Core.Task.tasks)
+
+let switch_prog arms =
+  let pb = Ir.Builder.program () in
+  let t0 = Ir.Reg.tmp 0 in
+  Ir.Builder.func pb "main" (fun b ->
+      Ir.Builder.li b t0 2;
+      Ir.Builder.switch_ b t0
+        (Array.init arms (fun i b -> Ir.Builder.li b Ir.Reg.rv i))
+        ~default:(fun b -> Ir.Builder.li b Ir.Reg.rv 99);
+      Ir.Builder.ret b);
+  Ir.Builder.finish pb ~main:"main"
+
+let test_cf_target_limit () =
+  (* an 8-way switch reconverges: greedy exploration should still swallow it
+     because the join reduces targets back to one *)
+  let prog = switch_prog 8 in
+  let f = Ir.Prog.find prog "main" in
+  let part = Core.Select.control_flow params f ~included_calls:(no_calls f) in
+  checkb "valid" true (Core.Task.validate f part = Ok ());
+  let t = find_task part Ir.Func.entry in
+  checkb "targets within limit" true
+    (Core.Task.num_hw_targets t <= params.Core.Heuristics.max_targets)
+
+let prop_cf_partitions_valid =
+  QCheck.Test.make ~name:"control-flow partitions are valid and closed"
+    ~count:40 Gen.arbitrary_program (fun prog ->
+      List.for_all
+        (fun name ->
+          let f = Ir.Prog.find prog name in
+          let part =
+            Core.Select.control_flow params f ~included_calls:(no_calls f)
+          in
+          Core.Task.validate f part = Ok ())
+        (Ir.Prog.func_names prog))
+
+let prop_cf_multiblock_within_limit =
+  QCheck.Test.make
+    ~name:"multi-block control-flow tasks respect the target limit" ~count:40
+    Gen.arbitrary_program (fun prog ->
+      List.for_all
+        (fun name ->
+          let f = Ir.Prog.find prog name in
+          let part =
+            Core.Select.control_flow params f ~included_calls:(no_calls f)
+          in
+          Array.for_all
+            (fun (t : Core.Task.t) ->
+              Core.Task.Iset.cardinal t.Core.Task.blocks = 1
+              || Core.Task.num_hw_targets t
+                 <= params.Core.Heuristics.max_targets)
+            part.Core.Task.tasks)
+        (Ir.Prog.func_names prog))
+
+(* --- data dependence heuristic ------------------------------------------- *)
+
+let test_dd_no_deps_equals_cf () =
+  let prog = diamond_prog () in
+  let f = Ir.Prog.find prog "main" in
+  let cf = Core.Select.control_flow params f ~included_calls:(no_calls f) in
+  let dd =
+    Core.Select.data_dependence params f ~included_calls:(no_calls f) ~deps:[]
+  in
+  checkb "same number of tasks" true
+    (Array.length cf.Core.Task.tasks = Array.length dd.Core.Task.tasks);
+  checkb "same block sets" true
+    (Array.for_all2
+       (fun (a : Core.Task.t) (b : Core.Task.t) ->
+         Core.Task.Iset.equal a.Core.Task.blocks b.Core.Task.blocks)
+       cf.Core.Task.tasks dd.Core.Task.tasks)
+
+let prop_dd_partitions_valid =
+  QCheck.Test.make ~name:"data-dependence partitions are valid" ~count:25
+    Gen.arbitrary_program (fun prog ->
+      let plan = Core.Partition.build Core.Heuristics.Data_dependence prog in
+      Core.Partition.validate plan = Ok ())
+
+(* --- partition driver ---------------------------------------------------- *)
+
+let test_build_all_levels () =
+  let prog = Gen.fib_program 10 in
+  List.iter
+    (fun level ->
+      let plan = Core.Partition.build level prog in
+      match Core.Partition.validate plan with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (Core.Heuristics.level_name level) e)
+    Core.Heuristics.all_levels
+
+let test_dep_edges_sorted () =
+  let prog = Gen.square_sum_program 20 in
+  let o = Interp.Run.execute prog in
+  let tr = o.Interp.Run.trace in
+  let fid = Interp.Trace.fid tr "main" in
+  let deps =
+    Core.Partition.dep_edges_of_profile o.Interp.Run.profile ~fid
+      tr.Interp.Trace.funcs.(fid)
+  in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Core.Select.freq >= b.Core.Select.freq && sorted rest
+    | _ -> true
+  in
+  checkb "deps sorted by frequency" true (sorted deps);
+  checkb "some deps profiled" true
+    (List.exists (fun d -> d.Core.Select.freq > 0) deps)
+
+let prop_build_deterministic =
+  QCheck.Test.make ~name:"partitioning is deterministic" ~count:15
+    Gen.arbitrary_program (fun prog ->
+      let p1 = Core.Partition.build Core.Heuristics.Control_flow prog in
+      let p2 = Core.Partition.build Core.Heuristics.Control_flow prog in
+      Ir.Prog.Smap.equal
+        (fun (a : Core.Task.partition) b ->
+          Array.length a.Core.Task.tasks = Array.length b.Core.Task.tasks
+          && Array.for_all2
+               (fun (x : Core.Task.t) (y : Core.Task.t) ->
+                 Core.Task.Iset.equal x.Core.Task.blocks y.Core.Task.blocks)
+               a.Core.Task.tasks b.Core.Task.tasks)
+        p1.Core.Partition.parts p2.Core.Partition.parts)
+
+let () =
+  Alcotest.run "select"
+    [
+      ("basic block", [ Alcotest.test_case "partition" `Quick test_basic_block ]);
+      ( "control flow",
+        [
+          Alcotest.test_case "reconvergence" `Quick test_cf_reconvergence;
+          Alcotest.test_case "loop body task" `Quick test_cf_loop_body_task;
+          Alcotest.test_case "calls terminate" `Quick test_cf_call_terminates;
+          Alcotest.test_case "target limit" `Quick test_cf_target_limit;
+          QCheck_alcotest.to_alcotest prop_cf_partitions_valid;
+          QCheck_alcotest.to_alcotest prop_cf_multiblock_within_limit;
+        ] );
+      ( "data dependence",
+        [
+          Alcotest.test_case "no deps = control flow" `Quick
+            test_dd_no_deps_equals_cf;
+          QCheck_alcotest.to_alcotest prop_dd_partitions_valid;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "all levels" `Quick test_build_all_levels;
+          Alcotest.test_case "dep edges sorted" `Quick test_dep_edges_sorted;
+          QCheck_alcotest.to_alcotest prop_build_deterministic;
+        ] );
+    ]

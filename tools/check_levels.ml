@@ -1,0 +1,33 @@
+let () =
+  List.iter
+    (fun e ->
+      let prog = e.Workloads.Registry.build () in
+      let base = (Interp.Run.execute prog).Interp.Run.result in
+      List.iter
+        (fun level ->
+          match Core.Partition.build level prog with
+          | exception ex ->
+            Printf.printf "%-10s %-16s BUILD FAIL: %s\n%!"
+              e.Workloads.Registry.name (Core.Heuristics.level_name level)
+              (Printexc.to_string ex)
+          | plan ->
+            (match Core.Partition.validate plan with
+            | Error err ->
+              Printf.printf "%-10s %-16s INVALID: %s\n%!"
+                e.Workloads.Registry.name (Core.Heuristics.level_name level) err
+            | Ok () ->
+              (match Interp.Run.execute plan.Core.Partition.prog with
+              | exception ex ->
+                Printf.printf "%-10s %-16s RUN FAIL: %s\n%!"
+                  e.Workloads.Registry.name (Core.Heuristics.level_name level)
+                  (Printexc.to_string ex)
+              | o ->
+                if not (Ir.Value.equal base o.Interp.Run.result) then
+                  Printf.printf "%-10s %-16s RESULT MISMATCH: %s vs %s\n%!"
+                    e.Workloads.Registry.name
+                    (Core.Heuristics.level_name level)
+                    (Ir.Value.to_string base)
+                    (Ir.Value.to_string o.Interp.Run.result))))
+        Core.Heuristics.all_levels;
+      Printf.printf "%-10s done\n%!" e.Workloads.Registry.name)
+    Workloads.Suite.all

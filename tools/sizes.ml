@@ -1,0 +1,15 @@
+let () =
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let prog = e.Workloads.Registry.build () in
+      let o = Interp.Run.execute prog in
+      let t1 = Unix.gettimeofday () in
+      Printf.printf "%-10s %6s dyn=%8d result=%s static=%5d (%.0f ms)\n"
+        e.Workloads.Registry.name
+        (Workloads.Registry.kind_name e.Workloads.Registry.kind)
+        o.Interp.Run.steps
+        (Ir.Value.to_string o.Interp.Run.result)
+        (Ir.Prog.static_size prog)
+        ((t1 -. t0) *. 1000.))
+    Workloads.Suite.all
