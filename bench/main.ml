@@ -2,6 +2,15 @@
    evaluation section over the synthetic SPEC95 suite, then measures the
    library's own stages with Bechamel.
 
+   All sections run through the unified experiment engine (lib/harness):
+   one shared artifact store memoizes the expensive pipeline per
+   (workload, heuristic level) — built program, partition plan, dynamic
+   trace — so each pipeline is computed exactly once per bench run no
+   matter how many sections need it, and the independent jobs fan out
+   across a domain pool (HARNESS_JOBS=1 forces serial).  Every simulation
+   on the default machine is recorded and exported to bench/results.json,
+   making the perf trajectory machine-readable.
+
    Sections:
      table1   - paper's Table 1 (task size, control transfers, prediction,
                 window span for bb/cf/dd tasks on 8 PUs)
@@ -25,9 +34,13 @@ let want s = List.mem s sections
 
 let line () = print_endline (String.make 78 '=')
 
-(* --- table 1 ------------------------------------------------------------- *)
+(* One artifact store shared by every section of this run. *)
+let store = Harness.Artifact.create ()
 
-let table1_rows = ref []
+let dd_artifact entry =
+  Harness.Artifact.get store ~level:Core.Heuristics.Data_dependence entry
+
+(* --- table 1 ------------------------------------------------------------- *)
 
 let run_table1 () =
   line ();
@@ -37,13 +50,10 @@ let run_table1 () =
      tasks several times larger; dd spans int 45-140 / fp 250-800; bb spans\n\
      considerably smaller.";
   line ();
-  let rows = Report.Table1.run Workloads.Suite.all in
-  table1_rows := rows;
+  let rows = Report.Table1.run ~store Workloads.Suite.all in
   Format.printf "%a@." Report.Table1.pp rows
 
 (* --- figure 5 ------------------------------------------------------------ *)
-
-let figure5_rows = ref []
 
 let run_figure5 () =
   line ();
@@ -54,28 +64,18 @@ let run_figure5 () =
      fp gains larger than int; in-order PUs benefit more from dd; only\n\
      compress and fpppp respond to the task-size heuristic.";
   line ();
-  let rows = Report.Figure5.run Workloads.Suite.all in
-  figure5_rows := rows;
+  let rows = Report.Figure5.run ~store Workloads.Suite.all in
   Format.printf "%a@." Report.Figure5.pp rows
 
 (* --- aggregate summary ---------------------------------------------------- *)
-
-let geomean xs =
-  match xs with
-  | [] -> 0.0
-  | _ ->
-    exp (List.fold_left (fun a x -> a +. log (max 1e-9 x)) 0.0 xs
-         /. float_of_int (List.length xs))
 
 let run_summary () =
   line ();
   print_endline "SUMMARY — geometric-mean IPC gains over basic-block tasks";
   line ();
-  let rows =
-    match !figure5_rows with
-    | [] -> Report.Figure5.run Workloads.Suite.all
-    | rows -> rows
-  in
+  (* every row is served from the artifact store: when figure5 already ran
+     this is pure cache hits, standalone it computes the grid once *)
+  let rows = Report.Figure5.run ~store Workloads.Suite.all in
   let by_kind kind = List.filter (fun r -> r.Report.Figure5.kind = kind) rows in
   List.iteri
     (fun ci cname ->
@@ -84,7 +84,7 @@ let run_summary () =
         (fun (kname, kind) ->
           let rs = by_kind kind in
           let gain li =
-            geomean
+            Harness.Stat.geomean
               (List.map
                  (fun r ->
                    r.Report.Figure5.ipc.(li).(ci)
@@ -113,35 +113,39 @@ let run_superscalar () =
   Printf.printf "%-10s %10s %10s %12s %12s
 " "bench" "ss IPC" "ms IPC"
     "ss window" "ms span";
+  let rows =
+    Harness.Pool.map
+      (fun entry ->
+        let art = dd_artifact entry in
+        let ss_cfg =
+          {
+            (Sim.Config.default ~num_pus:1 ~in_order:false) with
+            Sim.Config.issue_width = 4;
+            rob_size = 64;
+            iq_size = 32;
+            fu_int = 4;
+            fu_fp = 2;
+            fu_mem = 2;
+            fu_branch = 2;
+          }
+        in
+        let ss = Sim.Superscalar.run ss_cfg art.Harness.Artifact.trace in
+        (* the multiscalar side is the same (dd, 8PU, ooo) job figure5 runs:
+           served from the store's simulation cache *)
+        let ms = Harness.Artifact.sim store art ~num_pus:8 ~in_order:false in
+        (entry.Workloads.Registry.name, ss, ms))
+      Workloads.Suite.all
+  in
   List.iter
-    (fun entry ->
-      let prog = entry.Workloads.Registry.build () in
-      let plan = Core.Partition.build Core.Heuristics.Data_dependence prog in
-      let outcome = Interp.Run.execute plan.Core.Partition.prog in
-      let trace = outcome.Interp.Run.trace in
-      let ss_cfg =
-        {
-          (Sim.Config.default ~num_pus:1 ~in_order:false) with
-          Sim.Config.issue_width = 4;
-          rob_size = 64;
-          iq_size = 32;
-          fu_int = 4;
-          fu_fp = 2;
-          fu_mem = 2;
-          fu_branch = 2;
-        }
-      in
-      let ss = Sim.Superscalar.run ss_cfg trace in
-      let ms_cfg = Sim.Config.default ~num_pus:8 ~in_order:false in
-      let ms = Sim.Engine.run_with_trace ms_cfg plan trace in
+    (fun (name, ss, ms) ->
       Printf.printf "%-10s %10.2f %10.2f %12.1f %12.1f
 "
-        entry.Workloads.Registry.name
+        name
         (Sim.Stats.ipc ss.Sim.Superscalar.stats)
-        (Sim.Stats.ipc ms.Sim.Engine.stats)
+        (Sim.Stats.ipc ms)
         ss.Sim.Superscalar.avg_window
-        (Sim.Stats.measured_window_span ms.Sim.Engine.stats))
-    Workloads.Suite.all
+        (Sim.Stats.measured_window_span ms))
+    rows
 
 (* --- ablations ------------------------------------------------------------ *)
 
@@ -152,14 +156,20 @@ let run_ablation () =
   line ();
   print_endline "ABLATIONS";
   line ();
+  let base_cfg = Sim.Config.default ~num_pus:8 ~in_order:false in
+  let custom_sim cfg (art : Harness.Artifact.artifact) =
+    (Sim.Engine.run_with_trace cfg art.Harness.Artifact.plan
+       art.Harness.Artifact.trace)
+      .Sim.Engine.stats
+  in
   (* a) synchronization table: disable it and count violations *)
   let entry = Workloads.Suite.find "applu" in
-  let prog = entry.Workloads.Registry.build () in
-  let plan = Core.Partition.build Core.Heuristics.Control_flow prog in
-  let base_cfg = Sim.Config.default ~num_pus:8 ~in_order:false in
+  let art =
+    Harness.Artifact.get store ~level:Core.Heuristics.Control_flow entry
+  in
   let no_sync = { base_cfg with Sim.Config.sync_table_size = 0 } in
-  let with_tbl = (Sim.Engine.run base_cfg plan).Sim.Engine.stats in
-  let without = (Sim.Engine.run no_sync plan).Sim.Engine.stats in
+  let with_tbl = Harness.Artifact.sim store art ~num_pus:8 ~in_order:false in
+  let without = custom_sim no_sync art in
   Printf.printf
     "sync table (applu, cf, 8PU): with table IPC %.2f (%d violations), \
      without IPC %.2f (%d violations)\n"
@@ -167,12 +177,14 @@ let run_ablation () =
     (Sim.Stats.ipc without) without.Sim.Stats.violations;
   (* b) number of hardware targets N: sweep 2 / 4 / 8 on go *)
   let entry = Workloads.Suite.find "go" in
-  let prog = entry.Workloads.Registry.build () in
   List.iter
     (fun n ->
       let params = { Core.Heuristics.default with Core.Heuristics.max_targets = n } in
-      let plan = Core.Partition.build ~params Core.Heuristics.Control_flow prog in
-      let s = (Sim.Engine.run base_cfg plan).Sim.Engine.stats in
+      let art =
+        Harness.Artifact.get store ~params ~level:Core.Heuristics.Control_flow
+          entry
+      in
+      let s = Harness.Artifact.sim store art ~num_pus:8 ~in_order:false in
       Printf.printf
         "target limit N=%d (go, cf, 8PU): IPC %.2f, task size %.1f, task \
          mispredict %.1f%%\n"
@@ -183,18 +195,16 @@ let run_ablation () =
   List.iter
     (fun name ->
       let entry = Workloads.Suite.find name in
-      let prog = entry.Workloads.Registry.build () in
       let base =
-        (Sim.Engine.run base_cfg
-           (Core.Partition.build Core.Heuristics.Data_dependence prog))
-          .Sim.Engine.stats
+        Harness.Artifact.sim store (dd_artifact entry) ~num_pus:8
+          ~in_order:false
       in
-      let conv =
-        (Sim.Engine.run base_cfg
-           (Core.Partition.build ~if_convert:true
-              Core.Heuristics.Data_dependence prog))
-          .Sim.Engine.stats
+      let conv_art =
+        Harness.Artifact.get store
+          ~variant:{ Harness.Artifact.base_variant with if_convert = true }
+          ~level:Core.Heuristics.Data_dependence entry
       in
+      let conv = Harness.Artifact.sim store conv_art ~num_pus:8 ~in_order:false in
       Printf.printf
         "if-conversion (%s, dd, 8PU): IPC %.2f -> %.2f, intra-task branch          mispredicts %d -> %d
 "
@@ -206,11 +216,10 @@ let run_ablation () =
   List.iter
     (fun name ->
       let entry = Workloads.Suite.find name in
-      let prog = entry.Workloads.Registry.build () in
-      let plan = Core.Partition.build Core.Heuristics.Data_dependence prog in
-      let path = (Sim.Engine.run base_cfg plan).Sim.Engine.stats in
+      let art = dd_artifact entry in
+      let path = Harness.Artifact.sim store art ~num_pus:8 ~in_order:false in
       let bimodal_cfg = { base_cfg with Sim.Config.task_path_history = false } in
-      let bim = (Sim.Engine.run bimodal_cfg plan).Sim.Engine.stats in
+      let bim = custom_sim bimodal_cfg art in
       Printf.printf
         "task predictor (%s, dd, 8PU): path-based %.1f%% mispredict / IPC          %.2f, bimodal %.1f%% / IPC %.2f
 "
@@ -222,13 +231,11 @@ let run_ablation () =
     [ "go"; "compress" ];
   (* e) interleaved D-cache/ARB banks: 1 vs N (the paper interleaves "as
         many banks as the number of PUs") *)
-  let entry = Workloads.Suite.find "tomcatv" in
-  let prog = entry.Workloads.Registry.build () in
-  let plan = Core.Partition.build Core.Heuristics.Data_dependence prog in
+  let art = dd_artifact (Workloads.Suite.find "tomcatv") in
   List.iter
     (fun banks ->
       let cfg = { base_cfg with Sim.Config.l1_banks = banks } in
-      let s = (Sim.Engine.run cfg plan).Sim.Engine.stats in
+      let s = custom_sim cfg art in
       Printf.printf "L1/ARB banks=%d (tomcatv, dd, 8PU): IPC %.2f
 " banks
         (Sim.Stats.ipc s))
@@ -237,18 +244,16 @@ let run_ablation () =
   List.iter
     (fun name ->
       let entry = Workloads.Suite.find name in
-      let prog = entry.Workloads.Registry.build () in
       let base =
-        (Sim.Engine.run base_cfg
-           (Core.Partition.build Core.Heuristics.Data_dependence prog))
-          .Sim.Engine.stats
+        Harness.Artifact.sim store (dd_artifact entry) ~num_pus:8
+          ~in_order:false
       in
-      let optd =
-        (Sim.Engine.run base_cfg
-           (Core.Partition.build ~optimize:true
-              Core.Heuristics.Data_dependence prog))
-          .Sim.Engine.stats
+      let opt_art =
+        Harness.Artifact.get store
+          ~variant:{ Harness.Artifact.base_variant with optimize = true }
+          ~level:Core.Heuristics.Data_dependence entry
       in
+      let optd = Harness.Artifact.sim store opt_art ~num_pus:8 ~in_order:false in
       Printf.printf
         "optimizer (%s, dd, 8PU): cycles %d -> %d, dyn insns %d -> %d (IPC \
          alone misleads when instructions disappear)\n"
@@ -257,12 +262,14 @@ let run_ablation () =
     [ "go"; "vortex" ];
   (* g) LOOP_THRESH sweep on compress (the benchmark the paper says responds) *)
   let entry = Workloads.Suite.find "compress" in
-  let prog = entry.Workloads.Registry.build () in
   List.iter
     (fun thresh ->
       let params = { Core.Heuristics.default with Core.Heuristics.loop_thresh = thresh } in
-      let plan = Core.Partition.build ~params Core.Heuristics.Task_size prog in
-      let s = (Sim.Engine.run base_cfg plan).Sim.Engine.stats in
+      let art =
+        Harness.Artifact.get store ~params ~level:Core.Heuristics.Task_size
+          entry
+      in
+      let s = Harness.Artifact.sim store art ~num_pus:8 ~in_order:false in
       Printf.printf
         "LOOP_THRESH=%d (compress, ts, 8PU): IPC %.2f, task size %.1f\n"
         thresh (Sim.Stats.ipc s) (Sim.Stats.avg_task_size s))
@@ -283,24 +290,22 @@ let run_crossinput () =
   Printf.printf "%-10s %-6s %12s %12s %8s
 " "bench" "level" "self-profile"
     "cross-profile" "delta";
-  let base_cfg = Sim.Config.default ~num_pus:8 ~in_order:false in
   List.iter
     (fun name ->
       let entry = Workloads.Suite.find name in
-      let prog = entry.Workloads.Registry.build () in
-      let alt = entry.Workloads.Registry.build_alt () in
       List.iter
         (fun (lname, level) ->
+          let self_art = Harness.Artifact.get store ~level entry in
           let self =
             Sim.Stats.ipc
-              (Sim.Engine.run base_cfg (Core.Partition.build level prog))
-                .Sim.Engine.stats
+              (Harness.Artifact.sim store self_art ~num_pus:8 ~in_order:false)
+          in
+          let cross_art =
+            Harness.Artifact.get store ~profile_alt:true ~level entry
           in
           let cross =
             Sim.Stats.ipc
-              (Sim.Engine.run base_cfg
-                 (Core.Partition.build ~profile_input:alt level prog))
-                .Sim.Engine.stats
+              (Harness.Artifact.sim store cross_art ~num_pus:8 ~in_order:false)
           in
           Printf.printf "%-10s %-6s %12.2f %12.2f %+7.1f%%
 " name lname self
@@ -367,6 +372,22 @@ let run_bechamel () =
         results)
     results
 
+(* --- results export -------------------------------------------------------- *)
+
+let export_results () =
+  match Harness.Job.results_of_store store with
+  | [] -> ()
+  | results ->
+    let path =
+      if Sys.file_exists "bench" && Sys.is_directory "bench" then
+        Filename.concat "bench" "results.json"
+      else "results.json"
+    in
+    Harness.Job.export ~path results;
+    Printf.printf "wrote %s (%d job results, %d pipeline builds)\n" path
+      (List.length results)
+      (Harness.Artifact.builds store)
+
 let () =
   if want "table1" then run_table1 ();
   if want "figure5" then run_figure5 ();
@@ -376,4 +397,5 @@ let () =
   if want "crossinput" then run_crossinput ();
   if want "bechamel" then run_bechamel ();
   line ();
+  export_results ();
   print_endline "bench complete."

@@ -64,6 +64,31 @@ let workloads_filter =
   let doc = "Comma-separated subset of workloads (default: all)." in
   Arg.(value & opt (some string) None & info [ "only" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for experiment batches (default: HARNESS_JOBS or the \
+     host's core count; 1 = serial)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
+
+let json_arg =
+  let doc = "Also export the structured job results as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+(* One artifact store per CLI invocation: every subcommand resolves its
+   plans, traces and default-machine simulations through the engine. *)
+let store = Harness.Artifact.create ()
+
+let export_json = function
+  | None -> ()
+  | Some path ->
+    let results = Harness.Job.results_of_store store in
+    (try Harness.Job.export ~path results with
+     | Sys_error msg ->
+       Printf.eprintf "msc: cannot write results: %s\n" msg;
+       exit 1);
+    Printf.printf "wrote %s (%d job results)\n" path (List.length results)
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -83,13 +108,12 @@ let list_cmd =
 let simulate ?(optimize = false) ?(if_convert = false) ?(schedule = false)
     name level pus in_order =
   let entry = Workloads.Suite.find name in
-  let prog = entry.Workloads.Registry.build () in
-  let plan =
-    Core.Partition.build ~optimize ~if_convert ~schedule level prog
+  let art =
+    Harness.Artifact.get store
+      ~variant:{ Harness.Artifact.optimize; if_convert; schedule }
+      ~level entry
   in
-  let cfg = Sim.Config.default ~num_pus:pus ~in_order in
-  let r = Sim.Engine.run cfg plan in
-  (entry, r.Sim.Engine.stats)
+  (entry, Harness.Artifact.sim store art ~num_pus:pus ~in_order)
 
 let run_cmd =
   let run name level pus in_order optimize if_convert schedule =
@@ -127,8 +151,8 @@ let breakdown_cmd =
 let dump_cmd =
   let run name level =
     let entry = Workloads.Suite.find name in
-    let prog = entry.Workloads.Registry.build () in
-    let plan = Core.Partition.build level prog in
+    let art = Harness.Artifact.get store ~level entry in
+    let plan = art.Harness.Artifact.plan in
     Format.printf "%a@." Ir.Prog.pp plan.Core.Partition.prog;
     Ir.Prog.Smap.iter
       (fun _ part -> Format.printf "%a@." Core.Task.pp part)
@@ -188,8 +212,8 @@ let dot_cmd =
   in
   let run name level fname =
     let entry = Workloads.Suite.find name in
-    let prog = entry.Workloads.Registry.build () in
-    let plan = Core.Partition.build level prog in
+    let art = Harness.Artifact.get store ~level entry in
+    let plan = art.Harness.Artifact.plan in
     let f = Ir.Prog.find plan.Core.Partition.prog fname in
     let part = Ir.Prog.Smap.find fname plan.Core.Partition.parts in
     let partition blk =
@@ -259,8 +283,8 @@ let timeline_cmd =
   in
   let run name level pus in_order n skip =
     let entry = Workloads.Suite.find name in
-    let prog = entry.Workloads.Registry.build () in
-    let plan = Core.Partition.build level prog in
+    let art = Harness.Artifact.get store ~level entry in
+    let plan = art.Harness.Artifact.plan in
     let cfg = Sim.Config.default ~num_pus:pus ~in_order in
     let base = ref (-1) in
     Printf.printf "%6s %3s %-24s %8s %8s %8s %s
@@ -292,7 +316,8 @@ let timeline_cmd =
            else "")
       end
     in
-    ignore (Sim.Engine.run ~observer cfg plan)
+    ignore
+      (Sim.Engine.run_with_trace ~observer cfg plan art.Harness.Artifact.trace)
   in
   Cmd.v
     (Cmd.info "timeline"
@@ -303,20 +328,22 @@ let timeline_cmd =
 (* --- table1 / figure5 ---------------------------------------------------- *)
 
 let table1_cmd =
-  let run only =
-    let rows = Report.Table1.run (suite_of only) in
-    Format.printf "%a@." Report.Table1.pp rows
+  let run only jobs json =
+    let rows = Report.Table1.run ~store ?jobs (suite_of only) in
+    Format.printf "%a@." Report.Table1.pp rows;
+    export_json json
   in
   Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1")
-    Term.(const run $ workloads_filter)
+    Term.(const run $ workloads_filter $ jobs_arg $ json_arg)
 
 let figure5_cmd =
-  let run only =
-    let rows = Report.Figure5.run (suite_of only) in
-    Format.printf "%a@." Report.Figure5.pp rows
+  let run only jobs json =
+    let rows = Report.Figure5.run ~store ?jobs (suite_of only) in
+    Format.printf "%a@." Report.Figure5.pp rows;
+    export_json json
   in
   Cmd.v (Cmd.info "figure5" ~doc:"Regenerate the paper's Figure 5")
-    Term.(const run $ workloads_filter)
+    Term.(const run $ workloads_filter $ jobs_arg $ json_arg)
 
 let main =
   let info =

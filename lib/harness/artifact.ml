@@ -1,0 +1,134 @@
+type variant = {
+  optimize : bool;
+  if_convert : bool;
+  schedule : bool;
+}
+
+let base_variant = { optimize = false; if_convert = false; schedule = false }
+
+type key = {
+  workload : string;
+  level : Core.Heuristics.level;
+  params : Core.Heuristics.params;
+  profile_alt : bool;
+  variant : variant;
+}
+
+type artifact = {
+  key : key;
+  kind : Workloads.Registry.kind;
+  plan : Core.Partition.plan;
+  trace : Interp.Trace.t;
+}
+
+(* A memoized value is either in flight on some domain or landed; waiters
+   block on the store's condition variable until it lands.  Failures are
+   cached too, so every requester of a key sees the same exception instead
+   of re-running a computation that cannot succeed. *)
+type 'a cell = Pending | Ready of 'a | Failed of exn
+
+type t = {
+  mu : Mutex.t;
+  landed : Condition.t;
+  pipeline : (key, artifact cell) Hashtbl.t;
+  sims : (key * int * bool, Sim.Stats.t cell) Hashtbl.t;
+  mutable pipeline_builds : int;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    landed = Condition.create ();
+    pipeline = Hashtbl.create 64;
+    sims = Hashtbl.create 256;
+    pipeline_builds = 0;
+  }
+
+let memo t tbl key ?(on_miss = fun () -> ()) compute =
+  Mutex.lock t.mu;
+  let rec await () =
+    match Hashtbl.find_opt tbl key with
+    | Some (Ready v) ->
+      Mutex.unlock t.mu;
+      v
+    | Some (Failed e) ->
+      Mutex.unlock t.mu;
+      raise e
+    | Some Pending ->
+      Condition.wait t.landed t.mu;
+      await ()
+    | None ->
+      Hashtbl.replace tbl key Pending;
+      on_miss ();
+      Mutex.unlock t.mu;
+      let outcome = try Ok (compute ()) with e -> Error e in
+      Mutex.lock t.mu;
+      Hashtbl.replace tbl key
+        (match outcome with Ok v -> Ready v | Error e -> Failed e);
+      Condition.broadcast t.landed;
+      Mutex.unlock t.mu;
+      (match outcome with Ok v -> v | Error e -> raise e)
+  in
+  await ()
+
+let get t ?(params = Core.Heuristics.default) ?(profile_alt = false)
+    ?(variant = base_variant) ~level (entry : Workloads.Registry.entry) =
+  let key =
+    { workload = entry.Workloads.Registry.name; level; params; profile_alt;
+      variant }
+  in
+  memo t t.pipeline key
+    ~on_miss:(fun () -> t.pipeline_builds <- t.pipeline_builds + 1)
+    (fun () ->
+      let prog = entry.Workloads.Registry.build () in
+      let profile_input =
+        if profile_alt then Some (entry.Workloads.Registry.build_alt ())
+        else None
+      in
+      let plan =
+        Core.Partition.build ~params ?profile_input
+          ~optimize:variant.optimize ~if_convert:variant.if_convert
+          ~schedule:variant.schedule level prog
+      in
+      let trace =
+        (Interp.Run.execute plan.Core.Partition.prog).Interp.Run.trace
+      in
+      { key; kind = entry.Workloads.Registry.kind; plan; trace })
+
+let sim t (art : artifact) ~num_pus ~in_order =
+  memo t t.sims (art.key, num_pus, in_order) (fun () ->
+      let cfg = Sim.Config.default ~num_pus ~in_order in
+      (Sim.Engine.run_with_trace cfg art.plan art.trace).Sim.Engine.stats)
+
+let builds t =
+  Mutex.lock t.mu;
+  let n = t.pipeline_builds in
+  Mutex.unlock t.mu;
+  n
+
+let level_index level =
+  let rec go i = function
+    | [] -> invalid_arg "Artifact.level_index"
+    | l :: rest -> if l = level then i else go (i + 1) rest
+  in
+  go 0 Core.Heuristics.all_levels
+
+let sim_results t =
+  Mutex.lock t.mu;
+  let landed =
+    Hashtbl.fold
+      (fun (key, num_pus, in_order) cell acc ->
+        match cell with
+        | Ready stats -> (key, (num_pus, in_order), stats) :: acc
+        | Pending | Failed _ -> acc)
+      t.sims []
+  in
+  Mutex.unlock t.mu;
+  List.sort
+    (fun (ka, (pa, ioa), _) (kb, (pb, iob), _) ->
+      compare
+        (ka.workload, level_index ka.level, ka.params, ka.profile_alt,
+         ka.variant, pa, ioa)
+        (kb.workload, level_index kb.level, kb.params, kb.profile_alt,
+         kb.variant, pb, iob))
+    landed

@@ -1,0 +1,190 @@
+type spec = {
+  workload : string;
+  level : Core.Heuristics.level;
+  num_pus : int;
+  in_order : bool;
+}
+
+type result = {
+  spec : spec;
+  kind : Workloads.Registry.kind;
+  ipc : float;
+  cycles : int;
+  dyn_insns : int;
+  tasks : int;
+  task_size : float;
+  ct_per_task : float;
+  task_mispredict : float;
+  window_span : float;
+}
+
+let specs_for ?(levels = Core.Heuristics.all_levels)
+    ?(configs = [ (8, false) ]) workloads =
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun level ->
+          List.map
+            (fun (num_pus, in_order) -> { workload; level; num_pus; in_order })
+            configs)
+        levels)
+    workloads
+
+let result_of_stats spec ~kind (s : Sim.Stats.t) =
+  {
+    spec;
+    kind;
+    ipc = Sim.Stats.ipc s;
+    cycles = s.Sim.Stats.cycles;
+    dyn_insns = s.Sim.Stats.dyn_insns;
+    tasks = s.Sim.Stats.tasks;
+    task_size = Sim.Stats.avg_task_size s;
+    ct_per_task = Sim.Stats.avg_ct_per_task s;
+    task_mispredict = Sim.Stats.task_mispredict_rate s;
+    window_span = Sim.Stats.measured_window_span s;
+  }
+
+let run ?jobs store specs =
+  Pool.map ?jobs
+    (fun spec ->
+      let entry = Workloads.Suite.find spec.workload in
+      let art = Artifact.get store ~level:spec.level entry in
+      let stats =
+        Artifact.sim store art ~num_pus:spec.num_pus ~in_order:spec.in_order
+      in
+      result_of_stats spec ~kind:art.Artifact.kind stats)
+    specs
+
+let results_of_store store =
+  List.filter_map
+    (fun ((key : Artifact.key), (num_pus, in_order), stats) ->
+      if
+        key.Artifact.params = Core.Heuristics.default
+        && (not key.Artifact.profile_alt)
+        && key.Artifact.variant = Artifact.base_variant
+      then
+        let spec =
+          { workload = key.Artifact.workload; level = key.Artifact.level;
+            num_pus; in_order }
+        in
+        let kind = (Workloads.Suite.find spec.workload).Workloads.Registry.kind in
+        Some (result_of_stats spec ~kind stats)
+      else None)
+    (Artifact.sim_results store)
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let level_tag = function
+  | Core.Heuristics.Basic_block -> "bb"
+  | Core.Heuristics.Control_flow -> "cf"
+  | Core.Heuristics.Data_dependence -> "dd"
+  | Core.Heuristics.Task_size -> "ts"
+
+let level_of_tag = function
+  | "bb" -> Ok Core.Heuristics.Basic_block
+  | "cf" -> Ok Core.Heuristics.Control_flow
+  | "dd" -> Ok Core.Heuristics.Data_dependence
+  | "ts" -> Ok Core.Heuristics.Task_size
+  | s -> Error (Printf.sprintf "unknown level tag %S" s)
+
+let result_to_json r =
+  Json.Obj
+    [
+      ("workload", Json.String r.spec.workload);
+      ("kind", Json.String (Workloads.Registry.kind_name r.kind));
+      ("level", Json.String (level_tag r.spec.level));
+      ("num_pus", Json.Int r.spec.num_pus);
+      ("in_order", Json.Bool r.spec.in_order);
+      ("ipc", Json.Float r.ipc);
+      ("cycles", Json.Int r.cycles);
+      ("dyn_insns", Json.Int r.dyn_insns);
+      ("tasks", Json.Int r.tasks);
+      ("task_size", Json.Float r.task_size);
+      ("ct_per_task", Json.Float r.ct_per_task);
+      ("task_mispredict", Json.Float r.task_mispredict);
+      ("window_span", Json.Float r.window_span);
+    ]
+
+let to_json results = Json.List (List.map result_to_json results)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_string name = function
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S: expected string" name)
+
+let as_int name = function
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "field %S: expected int" name)
+
+let as_bool name = function
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S: expected bool" name)
+
+let as_float name = function
+  | Json.Float x -> Ok x
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "field %S: expected number" name)
+
+let str name j = let* v = field name j in as_string name v
+let int name j = let* v = field name j in as_int name v
+let boolean name j = let* v = field name j in as_bool name v
+let num name j = let* v = field name j in as_float name v
+
+let result_of_json j =
+  let* workload = str "workload" j in
+  let* kind_s = str "kind" j in
+  let* kind =
+    match kind_s with
+    | "int" -> Ok `Int
+    | "fp" -> Ok `Fp
+    | s -> Error (Printf.sprintf "unknown kind %S" s)
+  in
+  let* level_s = str "level" j in
+  let* level = level_of_tag level_s in
+  let* num_pus = int "num_pus" j in
+  let* in_order = boolean "in_order" j in
+  let* ipc = num "ipc" j in
+  let* cycles = int "cycles" j in
+  let* dyn_insns = int "dyn_insns" j in
+  let* tasks = int "tasks" j in
+  let* task_size = num "task_size" j in
+  let* ct_per_task = num "ct_per_task" j in
+  let* task_mispredict = num "task_mispredict" j in
+  let* window_span = num "window_span" j in
+  Ok
+    {
+      spec = { workload; level; num_pus; in_order };
+      kind;
+      ipc;
+      cycles;
+      dyn_insns;
+      tasks;
+      task_size;
+      ct_per_task;
+      task_mispredict;
+      window_span;
+    }
+
+let of_json = function
+  | Json.List items ->
+    List.fold_right
+      (fun item acc ->
+        let* rest = acc in
+        let* r = result_of_json item in
+        Ok (r :: rest))
+      items (Ok [])
+  | _ -> Error "expected a top-level list of results"
+
+let export ~path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json results));
+      output_char oc '\n')

@@ -1,0 +1,57 @@
+(** Declarative experiment jobs: [workload × heuristic level × machine
+    configuration → result].
+
+    A {!spec} names one simulation; {!run} fans a batch out over the
+    {!Pool} domains, sharing pipeline work through an {!Artifact} store, and
+    returns structured results in input order.  Results serialise to JSON
+    ({!to_json} / {!of_json} round-trip) so the perf trajectory of the repo
+    is machine-readable — the bench harness writes [bench/results.json] on
+    every run. *)
+
+type spec = {
+  workload : string;  (** a {!Workloads.Suite} name *)
+  level : Core.Heuristics.level;
+  num_pus : int;
+  in_order : bool;
+}
+
+type result = {
+  spec : spec;
+  kind : Workloads.Registry.kind;
+  ipc : float;
+  cycles : int;
+  dyn_insns : int;
+  tasks : int;
+  task_size : float;        (** dynamic instructions per task *)
+  ct_per_task : float;      (** control transfers per task *)
+  task_mispredict : float;  (** % *)
+  window_span : float;      (** measured, occupancy-weighted *)
+}
+
+val specs_for :
+  ?levels:Core.Heuristics.level list ->
+  ?configs:(int * bool) list ->
+  string list ->
+  spec list
+(** Cartesian grid of workloads × levels × [(num_pus, in_order)] machine
+    configurations.  Defaults: all four heuristic levels, the single
+    8-PU out-of-order configuration. *)
+
+val run : ?jobs:int -> Artifact.t -> spec list -> result list
+(** Run a batch through the store on the domain pool.  Result order matches
+    spec order; duplicate pipelines are computed once regardless of [jobs]
+    (concurrent requesters of one key block until it lands). *)
+
+val result_of_stats :
+  spec -> kind:Workloads.Registry.kind -> Sim.Stats.t -> result
+
+val results_of_store : Artifact.t -> result list
+(** The canonical perf trajectory recorded in a store: every memoized
+    default-machine simulation whose pipeline used default parameters, the
+    baseline variant and self-profiling, in deterministic order. *)
+
+val to_json : result list -> Json.t
+val of_json : Json.t -> (result list, string) Stdlib.result
+
+val export : path:string -> result list -> unit
+(** Write [to_json] to [path] (with a trailing newline). *)

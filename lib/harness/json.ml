@@ -1,0 +1,239 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing ------------------------------------------------------------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* 17 significant digits reproduce any double exactly; force a '.' or
+   exponent so the token re-parses as a float. *)
+let float_repr x =
+  if Float.is_nan x then "null"
+  else if Float.is_integer x && Float.abs x < 1e16 then
+    Printf.sprintf "%.1f" x
+  else
+    let s = Printf.sprintf "%.17g" x in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+let to_string ?(indent = true) t =
+  let b = Buffer.create 1024 in
+  let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in
+  let nl () = if indent then Buffer.add_char b '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float x -> Buffer.add_string b (float_repr x)
+    | String s -> escape_string b s
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+      Buffer.add_char b '[';
+      nl ();
+      List.iteri
+        (fun i x ->
+          if i > 0 then begin Buffer.add_char b ','; nl () end;
+          pad (depth + 1);
+          go (depth + 1) x)
+        xs;
+      nl ();
+      pad depth;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_char b '{';
+      nl ();
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then begin Buffer.add_char b ','; nl () end;
+          pad (depth + 1);
+          escape_string b k;
+          Buffer.add_string b (if indent then ": " else ":");
+          go (depth + 1) v)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char b '}'
+  in
+  go 0 t;
+  Buffer.contents b
+
+(* --- parsing -------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail "expected %C at offset %d" c !pos
+  in
+  let add_utf8 b code =
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'u' ->
+           if !pos + 4 > n then fail "truncated \\u escape";
+           let hex = String.sub s !pos 4 in
+           pos := !pos + 4;
+           (match int_of_string_opt ("0x" ^ hex) with
+            | Some code -> add_utf8 b code
+            | None -> fail "bad \\u escape %S" hex)
+         | c -> fail "unknown escape \\%c" c);
+        loop ()
+      end
+      else begin
+        Buffer.add_char b c;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+      match float_of_string_opt tok with
+      | Some x -> Float x
+      | None -> fail "bad number %S" tok
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> fail "bad number %S" tok
+  in
+  let literal word v =
+    if !pos + String.length word <= n
+       && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal at offset %d" !pos
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); fields ((k, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}' at offset %d" !pos
+        in
+        fields []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); List [] end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elems (v :: acc)
+          | Some ']' -> advance (); List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']' at offset %d" !pos
+        in
+        elems []
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "unexpected character %C at offset %d" c !pos
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage at offset %d" !pos;
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error m -> Error m
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None

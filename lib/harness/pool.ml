@@ -1,0 +1,39 @@
+let default_jobs () =
+  match Sys.getenv_opt "HARNESS_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some j when j >= 1 -> j
+     | Some _ | None -> max 2 (Domain.recommended_domain_count ()))
+  | None -> max 2 (Domain.recommended_domain_count ())
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get failure = None then begin
+        (match f items.(i) with
+         | v -> results.(i) <- Some v
+         | exception e ->
+           ignore (Atomic.compare_and_set failure None (Some e)));
+        worker ()
+      end
+    in
+    let domains =
+      Array.init (min jobs n) (fun _ -> Domain.spawn worker)
+    in
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> invalid_arg "Pool.map: lost result")
+         results)
+  end
+
+let iter ?jobs f xs = ignore (map ?jobs f xs)

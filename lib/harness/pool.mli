@@ -1,0 +1,28 @@
+(** A domain pool for fanning independent experiment jobs across cores.
+
+    Jobs are pulled from a shared work queue by [jobs] worker domains
+    (OCaml 5 [Domain]s; no extra dependencies) and results are returned in
+    input order, so parallel and serial runs are indistinguishable to the
+    caller.  The pool is transient: domains are spawned per [map] call and
+    joined before it returns — experiment batches are seconds long, so the
+    ~30 µs spawn cost is noise.
+
+    The default width honours the [HARNESS_JOBS] environment variable;
+    [HARNESS_JOBS=1] is the serial fallback (no domains are spawned and
+    [map] degenerates to [List.map]). *)
+
+val default_jobs : unit -> int
+(** [HARNESS_JOBS] when set to a positive integer, otherwise
+    [max 2 (Domain.recommended_domain_count ())] — experiment batches run
+    on more than one domain by default. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element of [xs] on [jobs] (default
+    {!default_jobs}) worker domains and returns the results in input order.
+    With [jobs <= 1] or fewer than two elements this is [List.map f xs] on
+    the calling domain.  If any application raises, one such exception is
+    re-raised after all workers have drained (remaining queued items are
+    abandoned). *)
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [iter f xs] is [map f xs] with unit results. *)

@@ -1,0 +1,11 @@
+let geomean xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    exp (List.fold_left (fun a x -> a +. log (max 1e-9 x)) 0.0 xs
+         /. float_of_int (List.length xs))
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -1,0 +1,10 @@
+(** Small aggregate statistics shared by the bench summary and the job
+    engine (previously duplicated as a private helper in [bench/main.ml]). *)
+
+val geomean : float list -> float
+(** Geometric mean; values are clamped below at [1e-9] (IPC ratios are
+    positive, the clamp only guards degenerate zero rows) and the empty
+    list yields [0.0]. *)
+
+val mean : float list -> float
+(** Arithmetic mean; empty list yields [0.0]. *)

@@ -1,4 +1,10 @@
-(* Running the paper's experiments over the workload suite. *)
+(* Running the paper's experiments over the workload suite.
+
+   All runners share one shape: resolve the pipeline artifact (built
+   program, partition plan, dynamic trace) either from a Harness.Artifact
+   store — memoized, domain-safe, computed once per (workload, level) — or
+   by computing it locally, then time any number of machine configurations
+   against the shared plan and trace. *)
 
 type run_result = {
   workload : string;
@@ -9,36 +15,39 @@ type run_result = {
   stats : Sim.Stats.t;
 }
 
-let run_one ?params ~level ~num_pus ~in_order entry =
-  let prog = entry.Workloads.Registry.build () in
-  let plan = Core.Partition.build ?params level prog in
-  let cfg = Sim.Config.default ~num_pus ~in_order in
-  let r = Sim.Engine.run cfg plan in
-  {
-    workload = entry.Workloads.Registry.name;
-    kind = entry.Workloads.Registry.kind;
-    level;
-    num_pus;
-    in_order;
-    stats = r.Sim.Engine.stats;
-  }
-
 (* Share the plan and trace across machine configurations of one level. *)
-let run_level_configs ?params ~level ~configs entry =
-  let prog = entry.Workloads.Registry.build () in
-  let plan = Core.Partition.build ?params level prog in
-  let outcome = Interp.Run.execute plan.Core.Partition.prog in
-  let trace = outcome.Interp.Run.trace in
+let run_level_configs ?params ?store ~level ~configs entry =
+  let stats_for =
+    match store with
+    | Some store ->
+      let art = Harness.Artifact.get store ?params ~level entry in
+      fun (num_pus, in_order) ->
+        Harness.Artifact.sim store art ~num_pus ~in_order
+    | None ->
+      let prog = entry.Workloads.Registry.build () in
+      let plan = Core.Partition.build ?params level prog in
+      let outcome = Interp.Run.execute plan.Core.Partition.prog in
+      let trace = outcome.Interp.Run.trace in
+      fun (num_pus, in_order) ->
+        let cfg = Sim.Config.default ~num_pus ~in_order in
+        (Sim.Engine.run_with_trace cfg plan trace).Sim.Engine.stats
+  in
   List.map
     (fun (num_pus, in_order) ->
-      let cfg = Sim.Config.default ~num_pus ~in_order in
-      let r = Sim.Engine.run_with_trace cfg plan trace in
       {
         workload = entry.Workloads.Registry.name;
         kind = entry.Workloads.Registry.kind;
         level;
         num_pus;
         in_order;
-        stats = r.Sim.Engine.stats;
+        stats = stats_for (num_pus, in_order);
       })
     configs
+
+let run_one ?params ?store ~level ~num_pus ~in_order entry =
+  match
+    run_level_configs ?params ?store ~level ~configs:[ (num_pus, in_order) ]
+      entry
+  with
+  | [ r ] -> r
+  | _ -> assert false

@@ -14,15 +14,16 @@ let config_names = [ "4PU/ooo"; "8PU/ooo"; "4PU/io"; "8PU/io" ]
 
 let levels = Core.Heuristics.all_levels
 
-let run ?params entries =
-  List.map
+let run ?params ?store ?jobs entries =
+  Harness.Pool.map ?jobs
     (fun entry ->
       let ipc =
         Array.of_list
           (List.map
              (fun level ->
                let results =
-                 Experiment.run_level_configs ?params ~level ~configs entry
+                 Experiment.run_level_configs ?params ?store ~level ~configs
+                   entry
                in
                Array.of_list
                  (List.map (fun r -> Sim.Stats.ipc r.Experiment.stats) results))

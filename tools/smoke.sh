@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Smoke check for the experiment/bench path: full build, the complete test
+# suite, then the Table 1 section of the bench harness through the unified
+# experiment engine (serial, so the output is stable).  Run from anywhere:
+#
+#   tools/smoke.sh
+#
+# The same bench-section check is wired as a dune alias:
+#
+#   dune build @bench-smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+HARNESS_JOBS=1 dune exec bench/main.exe -- table1
+
+echo "smoke: OK"
