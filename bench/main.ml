@@ -19,6 +19,8 @@
      summary  - the headline claims, aggregated (int vs fp gains)
      ablation - design-choice studies DESIGN.md calls out: counted vs generic
                 unrolling, release-point forwarding, synchronization table
+     lint     - static verification of every plan (all workloads x all
+                levels), exported to bench/lint.json for cross-commit diffs
      bechamel - wall-clock measurement of the pipeline stages
 
    Run with: dune exec bench/main.exe            (all sections)
@@ -28,7 +30,7 @@ let sections =
   if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
   else
     [ "table1"; "figure5"; "summary"; "superscalar"; "ablation"; "crossinput";
-      "bechamel" ]
+      "lint"; "bechamel" ]
 
 let want s = List.mem s sections
 
@@ -315,6 +317,44 @@ let run_crossinput () =
           ("ts", Core.Heuristics.Task_size) ])
     [ "compress"; "go"; "perl"; "su2cor" ]
 
+(* --- lint ------------------------------------------------------------------ *)
+
+(* Lint every plan of the evaluation grid and export the rule counts: a
+   commit that changes a transform or heuristic shows up as a diff in
+   bench/lint.json long before it shows up as a wrong IPC. *)
+let run_lint () =
+  line ();
+  print_endline
+    "LINT — static verification of every plan (all workloads x all levels)";
+  line ();
+  let reports = Lint.check_suite ~store Workloads.Suite.all in
+  let errors = Lint.total_errors reports in
+  let count sev =
+    List.fold_left
+      (fun acc (r : Lint.report) -> acc + Lint.Diag.count sev r.Lint.diags)
+      0 reports
+  in
+  Printf.printf "%d plans: %d errors, %d warnings, %d infos\n"
+    (List.length reports) errors
+    (count Lint.Diag.Warning)
+    (count Lint.Diag.Info);
+  List.iter
+    (fun (r : Lint.report) ->
+      List.iter
+        (fun d -> Format.printf "%a@." Lint.Diag.pp d)
+        (Lint.Diag.errors r.Lint.diags))
+    reports;
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "lint.json"
+    else "lint.json"
+  in
+  let oc = open_out path in
+  output_string oc (Harness.Json.to_string (Lint.report_to_json reports));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* --- bechamel ------------------------------------------------------------- *)
 
 let run_bechamel () =
@@ -395,6 +435,7 @@ let () =
   if want "superscalar" then run_superscalar ();
   if want "ablation" then run_ablation ();
   if want "crossinput" then run_crossinput ();
+  if want "lint" then run_lint ();
   if want "bechamel" then run_bechamel ();
   line ();
   export_results ();

@@ -9,6 +9,7 @@
      export      print a workload in the textual IR format
      dot         emit a Graphviz CFG coloured by task
      superscalar simulate on the centralised superscalar reference machine
+     lint        statically verify IR, partitions and register communication
      table1      regenerate the paper's Table 1
      figure5     regenerate the paper's Figure 5 *)
 
@@ -325,6 +326,57 @@ let timeline_cmd =
     Term.(const run $ workload_arg $ level_arg $ pus_arg $ in_order_arg
           $ count_arg $ skip_arg)
 
+(* --- lint ----------------------------------------------------------------- *)
+
+let lint_cmd =
+  let level_opt_arg =
+    let doc = "Lint only this heuristic level (default: all four)." in
+    Arg.(value & opt (some level_conv) None & info [ "l"; "level" ] ~doc)
+  in
+  let lint_json_arg =
+    let doc = "Export the structured lint report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run only level jobs json =
+    let entries = suite_of only in
+    let levels =
+      match level with
+      | None -> Core.Heuristics.all_levels
+      | Some l -> [ l ]
+    in
+    let reports = Lint.check_suite ?jobs ~levels ~store entries in
+    List.iter
+      (fun (r : Lint.report) ->
+        List.iter (fun d -> Format.printf "%a@." Lint.Diag.pp d) r.Lint.diags;
+        let e = Lint.Diag.count Lint.Diag.Error r.Lint.diags in
+        let w = Lint.Diag.count Lint.Diag.Warning r.Lint.diags in
+        let i = Lint.Diag.count Lint.Diag.Info r.Lint.diags in
+        if e + w + i > 0 then
+          Printf.printf "%-10s %-15s %d errors, %d warnings, %d infos\n"
+            r.Lint.workload
+            (Core.Heuristics.level_name r.Lint.level)
+            e w i)
+      reports;
+    (match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Harness.Json.to_string (Lint.report_to_json reports));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    let errors = Lint.total_errors reports in
+    Printf.printf "lint: %d plans checked, %d errors\n" (List.length reports)
+      errors;
+    if errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify IR, partitions and register communication")
+    Term.(const run $ workloads_filter $ level_opt_arg $ jobs_arg
+          $ lint_json_arg)
+
 (* --- table1 / figure5 ---------------------------------------------------- *)
 
 let table1_cmd =
@@ -352,8 +404,9 @@ let main =
   in
   Cmd.group info
     [
-      list_cmd; run_cmd; breakdown_cmd; dump_cmd; table1_cmd; figure5_cmd;
-      run_file_cmd; export_cmd; dot_cmd; superscalar_cmd; timeline_cmd;
+      list_cmd; run_cmd; breakdown_cmd; dump_cmd; lint_cmd; table1_cmd;
+      figure5_cmd; run_file_cmd; export_cmd; dot_cmd; superscalar_cmd;
+      timeline_cmd;
     ]
 
 let () = exit (Cmd.eval main)

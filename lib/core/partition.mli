@@ -35,6 +35,15 @@ val build :
     choice matters. *)
 
 val validate : plan -> (unit, string) result
+(** Full static verification of a plan, delegated to [Lint.validate_plan]
+    (the lint library registers itself here when linked; linking it is
+    required — the fallback rejects every plan with a wiring error).  On
+    failure the message is the first error diagnostic, rule id and location
+    included, plus a count of any further errors. *)
+
+val set_validator : (plan -> (unit, string) result) -> unit
+(** Registration hook for the checker behind {!validate}.  Called by the
+    lint library's initialiser; not intended for other use. *)
 
 val dep_edges_of_profile :
   Interp.Profile.t -> fid:int -> Ir.Func.t -> Select.dep_edge list

@@ -10,6 +10,8 @@ type task_info = {
      terminator registers as a write of every register at index [length
      insns] *)
   last_write : (Ir.Block.label * Ir.Reg.t, int) Hashtbl.t;
+  (* terminator index of each block ending in an included call *)
+  included_at : (Ir.Block.label, int) Hashtbl.t;
   writes : (Ir.Block.label, Analysis.Dataflow.Regset.t) Hashtbl.t;
   strict_reach : (Ir.Block.label, Iset.t) Hashtbl.t;
 }
@@ -50,6 +52,7 @@ let task_info f lv part (task : Task.t) =
         Regset.empty task.Task.targets
   in
   let last_write = Hashtbl.create 32 in
+  let included_at = Hashtbl.create 4 in
   let writes = Hashtbl.create 8 in
   let strict_reach = Hashtbl.create 8 in
   Iset.iter
@@ -63,6 +66,7 @@ let task_info f lv part (task : Task.t) =
       (match blk.Ir.Block.term with
       | Ir.Block.Call (_, _) when included_calls.(b) ->
         let tidx = Array.length blk.Ir.Block.insns in
+        Hashtbl.replace included_at b tidx;
         for r = 0 to Ir.Reg.count - 1 do
           Hashtbl.replace last_write (b, r) tidx
         done
@@ -88,7 +92,7 @@ let task_info f lv part (task : Task.t) =
       visit b;
       Hashtbl.replace strict_reach b !seen)
     task.Task.blocks;
-  { needed_out; last_write; writes; strict_reach }
+  { needed_out; last_write; included_at; writes; strict_reach }
 
 let create f part =
   let lv = sound_liveness f in
@@ -116,6 +120,12 @@ let forwardable t ~task ~blk ~idx ~reg =
   if task < 0 || task >= Array.length t.infos then false
   else begin
     let info = t.infos.(task) in
+    (* the mega-write modelling an included callee registers as the last
+       write of every register at the terminator index, but the compiler
+       cannot mark forward bits inside a separately compiled callee: that
+       site itself is never forwardable *)
+    if Hashtbl.find_opt info.included_at blk = Some idx then false
+    else
     match Hashtbl.find_opt info.last_write (blk, reg) with
     | None -> false
     | Some last ->

@@ -1,0 +1,89 @@
+(** Static plan & IR verifier.
+
+    The paper's argument rests on task invariants the compiler must uphold:
+    tasks are connected single-entry subgraphs, partitions are *closed*
+    (every inter-task transfer lands on a task entry), the control-flow
+    heuristic bounds the successor count to what the prediction hardware
+    tracks (§3.3), and the register forward/release bits must mark provably
+    last writes (§2.1).  The simulator's timing silently trusts all of it.
+    This module checks every invariant over any {!Core.Partition.plan} and
+    reports structured {!Diag.t} findings instead of failing on the first
+    bare string.
+
+    Three checker families:
+    - {b IR well-formedness} ([ir/*]): labels in range, call targets
+      resolve, reads preceded by definitions, unreachable blocks, empty
+      switches;
+    - {b partition invariants} ([part/*]): connectivity, single entry,
+      closure (including the forced entries of non-included calls),
+      [task_of_entry]/[included_calls] consistency, stored
+      [targets]/[calls_out]/[has_ret] recomputed independently and diffed,
+      the [num_hw_targets] bound at [Control_flow] and above;
+    - {b register-communication audit} ([regcomm/*]): an independent
+      reverse-dataflow reimplementation of last-write, release and
+      dead-register facts, differentially compared against
+      {!Core.Regcomm.forwardable}/[needed]/[may_rewrite] — any
+      disagreement between the two implementations is an error.
+
+    Loading this library installs {!validate_plan} behind
+    {!Core.Partition.validate} (the library is built with [-linkall], so a
+    dependency edge suffices). *)
+
+module Diag = Diag
+(** Re-export: [Lint] is the library's interface module, so this is the
+    only path by which outside code can name {!Diag.t}. *)
+
+val check_prog : Ir.Prog.t -> Diag.t list
+(** IR well-formedness of a whole program ([ir/*] rules only). *)
+
+val check_partition :
+  ?level:Core.Heuristics.level ->
+  ?params:Core.Heuristics.params ->
+  Ir.Func.t ->
+  Core.Task.partition ->
+  Diag.t list
+(** Partition invariants of one function ([part/*] rules).  The
+    [num_hw_targets] bound is only enforced when [level] is given and is
+    [Control_flow] or above; [params] defaults to
+    {!Core.Heuristics.default}.  Assumes the function itself is
+    well-formed (run {!check_prog} first). *)
+
+val check_regcomm : Ir.Func.t -> Core.Task.partition -> Diag.t list
+(** Differential audit of {!Core.Regcomm} over every task of the partition
+    ([regcomm/*] rules).  Assumes a structurally valid partition (gate on
+    {!check_partition} reporting no errors). *)
+
+val check_plan : Core.Partition.plan -> Diag.t list
+(** All three families over a whole plan, sorted by {!Diag.compare}.
+    Defensive: functions with IR-structural errors skip the partition
+    checks, and partitions with errors skip the regcomm audit (their
+    metadata cannot be trusted enough to index with). *)
+
+val validate_plan : Core.Partition.plan -> (unit, string) result
+(** [Ok ()] when {!check_plan} reports no errors; otherwise the first
+    error diagnostic (rule id and location included) plus a count of the
+    rest.  This is what {!Core.Partition.validate} delegates to. *)
+
+(** {1 Suite-wide enforcement} *)
+
+type report = {
+  workload : string;
+  level : Core.Heuristics.level;
+  diags : Diag.t list;
+}
+
+val check_suite :
+  ?jobs:int ->
+  ?levels:Core.Heuristics.level list ->
+  store:Harness.Artifact.t ->
+  Workloads.Registry.entry list ->
+  report list
+(** Lint every workload at every level (default: all four), fanning the
+    plan builds out over the {!Harness.Pool} domains through the shared
+    artifact store.  Results are in input order (workload-major). *)
+
+val total_errors : report list -> int
+
+val report_to_json : report list -> Harness.Json.t
+(** Reports plus an aggregate [rule_counts] object — the diffable summary
+    written to [bench/lint.json]. *)

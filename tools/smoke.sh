@@ -8,11 +8,17 @@
 # The same bench-section check is wired as a dune alias:
 #
 #   dune build @bench-smoke
+#
+# Static verification (IR, partition invariants, register-communication
+# audit over every workload at every level) is its own alias:
+#
+#   dune build @lint
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
+dune build @lint
 HARNESS_JOBS=1 dune exec bench/main.exe -- table1
 
 echo "smoke: OK"
