@@ -21,6 +21,8 @@
                 unrolling, release-point forwarding, synchronization table
      lint     - static verification of every plan (all workloads x all
                 levels), exported to bench/lint.json for cross-commit diffs
+     trace    - memory statistics of the packed trace representation vs the
+                boxed layout it replaced, exported into bench/results.json
      bechamel - wall-clock measurement of the pipeline stages
 
    Run with: dune exec bench/main.exe            (all sections)
@@ -30,7 +32,7 @@ let sections =
   if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
   else
     [ "table1"; "figure5"; "summary"; "superscalar"; "ablation"; "crossinput";
-      "lint"; "bechamel" ]
+      "lint"; "trace"; "bechamel" ]
 
 let want s = List.mem s sections
 
@@ -355,6 +357,76 @@ let run_lint () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* --- trace memory --------------------------------------------------------- *)
+
+(* Heap words per dynamic event, packed vs the boxed event-record layout
+   the interpreter used to build; the boxed figure is computed from the
+   same event/address counts, so the comparison needs no legacy build. *)
+let run_trace () =
+  line ();
+  print_endline
+    "TRACE — packed trace memory vs the boxed event-record representation \
+     (dd tasks)";
+  line ();
+  Printf.printf "%-10s %9s %9s %7s %7s %6s %9s %9s\n" "bench" "events"
+    "addrs" "w/ev" "boxed" "ratio" "KB" "alloc-KW";
+  let rows =
+    Harness.Pool.map
+      (fun entry ->
+        let art = dd_artifact entry in
+        ( entry.Workloads.Registry.name,
+          Interp.Trace.stats art.Harness.Artifact.trace ))
+      Workloads.Suite.all
+  in
+  List.iter
+    (fun (name, (s : Interp.Trace.mem_stats)) ->
+      let ev = float_of_int (max 1 s.Interp.Trace.events) in
+      Printf.printf "%-10s %9d %9d %7.2f %7.2f %5.1fx %9.1f %9.1f\n" name
+        s.Interp.Trace.events s.Interp.Trace.addrs
+        (float_of_int s.Interp.Trace.heap_words /. ev)
+        (float_of_int s.Interp.Trace.boxed_words /. ev)
+        (float_of_int s.Interp.Trace.boxed_words
+        /. float_of_int (max 1 s.Interp.Trace.heap_words))
+        (float_of_int (s.Interp.Trace.heap_words * (Sys.word_size / 8))
+        /. 1024.0)
+        (float_of_int s.Interp.Trace.build_alloc_words /. 1024.0))
+    rows;
+  let s =
+    List.fold_left
+      (fun (acc : Interp.Trace.mem_stats) (_, (s : Interp.Trace.mem_stats)) ->
+        {
+          Interp.Trace.events = acc.Interp.Trace.events + s.Interp.Trace.events;
+          addrs = acc.Interp.Trace.addrs + s.Interp.Trace.addrs;
+          heap_words = acc.Interp.Trace.heap_words + s.Interp.Trace.heap_words;
+          boxed_words =
+            acc.Interp.Trace.boxed_words + s.Interp.Trace.boxed_words;
+          build_alloc_words =
+            acc.Interp.Trace.build_alloc_words
+            + s.Interp.Trace.build_alloc_words;
+          boxed_alloc_words =
+            acc.Interp.Trace.boxed_alloc_words
+            + s.Interp.Trace.boxed_alloc_words;
+        })
+      {
+        Interp.Trace.events = 0; addrs = 0; heap_words = 0; boxed_words = 0;
+        build_alloc_words = 0; boxed_alloc_words = 0;
+      }
+      rows
+  in
+  let ev = float_of_int (max 1 s.Interp.Trace.events) in
+  Printf.printf
+    "total: %d events / %d addrs; packed %.2f w/ev, boxed %.2f w/ev — %.1fx \
+     smaller resident, build churn %.1f KW vs %.1f KW boxed\n"
+    s.Interp.Trace.events s.Interp.Trace.addrs
+    (float_of_int s.Interp.Trace.heap_words /. ev)
+    (float_of_int s.Interp.Trace.boxed_words /. ev)
+    (float_of_int s.Interp.Trace.boxed_words
+    /. float_of_int (max 1 s.Interp.Trace.heap_words))
+    (float_of_int s.Interp.Trace.build_alloc_words /. 1024.0)
+    (float_of_int s.Interp.Trace.boxed_alloc_words /. 1024.0);
+  Printf.printf "store holds %.1f KB of packed traces\n"
+    (float_of_int (Harness.Artifact.trace_bytes store) /. 1024.0)
+
 (* --- bechamel ------------------------------------------------------------- *)
 
 let run_bechamel () =
@@ -415,18 +487,22 @@ let run_bechamel () =
 (* --- results export -------------------------------------------------------- *)
 
 let export_results () =
-  match Harness.Job.results_of_store store with
-  | [] -> ()
-  | results ->
+  let results = Harness.Job.results_of_store store in
+  let trace = Harness.Job.trace_stats_of_store store in
+  if results <> [] || trace <> [] then begin
     let path =
       if Sys.file_exists "bench" && Sys.is_directory "bench" then
         Filename.concat "bench" "results.json"
       else "results.json"
     in
-    Harness.Job.export ~path results;
-    Printf.printf "wrote %s (%d job results, %d pipeline builds)\n" path
-      (List.length results)
+    (match trace with
+    | [] -> Harness.Job.export ~path results
+    | _ -> Harness.Job.export ~path ~trace results);
+    Printf.printf
+      "wrote %s (%d job results, %d trace records, %d pipeline builds)\n" path
+      (List.length results) (List.length trace)
       (Harness.Artifact.builds store)
+  end
 
 let () =
   if want "table1" then run_table1 ();
@@ -436,6 +512,7 @@ let () =
   if want "ablation" then run_ablation ();
   if want "crossinput" then run_crossinput ();
   if want "lint" then run_lint ();
+  if want "trace" then run_trace ();
   if want "bechamel" then run_bechamel ();
   line ();
   export_results ();

@@ -10,6 +10,7 @@
      dot         emit a Graphviz CFG coloured by task
      superscalar simulate on the centralised superscalar reference machine
      lint        statically verify IR, partitions and register communication
+     trace-stats memory statistics of the packed dynamic traces
      table1      regenerate the paper's Table 1
      figure5     regenerate the paper's Figure 5 *)
 
@@ -377,6 +378,75 @@ let lint_cmd =
     Term.(const run $ workloads_filter $ level_opt_arg $ jobs_arg
           $ lint_json_arg)
 
+(* --- trace-stats ----------------------------------------------------------- *)
+
+let trace_stats_cmd =
+  let pred_arg =
+    let doc = "Task prediction accuracy for the window-span series." in
+    Arg.(value & opt float 1.0 & info [ "pred" ] ~doc)
+  in
+  let run only level jobs pus pred =
+    let entries = suite_of only in
+    let per_workload =
+      Harness.Pool.map ?jobs
+        (fun (e : Workloads.Registry.entry) ->
+          let art = Harness.Artifact.get store ~level e in
+          let trace = art.Harness.Artifact.trace in
+          let plan = art.Harness.Artifact.plan in
+          let parts =
+            Array.map
+              (fun name -> Ir.Prog.Smap.find name plan.Core.Partition.parts)
+              trace.Interp.Trace.fnames
+          in
+          let tasks = Sim.Dyntask.chop trace ~parts in
+          let span =
+            Report.Window_span.measured ~num_pus:pus ~pred trace ~tasks
+          in
+          ( e.Workloads.Registry.name,
+            Interp.Trace.stats trace,
+            trace.Interp.Trace.dyn_insns,
+            Array.length tasks,
+            span ))
+        entries
+    in
+    Printf.printf "%-10s %9s %9s %9s %6s %6s %6s %8s %7s %8s\n" "workload"
+      "events" "insns" "addrs" "w/ev" "boxed" "ratio" "KB" "tasks" "span";
+    let tot_ev = ref 0 in
+    let tot_heap = ref 0 in
+    let tot_boxed = ref 0 in
+    List.iter
+      (fun (name, (s : Interp.Trace.mem_stats), insns, tasks, span) ->
+        tot_ev := !tot_ev + s.Interp.Trace.events;
+        tot_heap := !tot_heap + s.Interp.Trace.heap_words;
+        tot_boxed := !tot_boxed + s.Interp.Trace.boxed_words;
+        let per f = float_of_int f /. float_of_int (max 1 s.Interp.Trace.events) in
+        Printf.printf "%-10s %9d %9d %9d %6.2f %6.2f %5.1fx %8.1f %7d %8.0f\n"
+          name s.Interp.Trace.events insns
+          s.Interp.Trace.addrs
+          (per s.Interp.Trace.heap_words)
+          (per s.Interp.Trace.boxed_words)
+          (float_of_int s.Interp.Trace.boxed_words
+          /. float_of_int (max 1 s.Interp.Trace.heap_words))
+          (float_of_int (s.Interp.Trace.heap_words * (Sys.word_size / 8))
+          /. 1024.0)
+          tasks span)
+      per_workload;
+    Printf.printf
+      "total: %d events, %d packed words (%.2f w/ev) vs %d boxed (%.2f w/ev), \
+       %.1fx; store holds %.1f KB of traces\n"
+      !tot_ev !tot_heap
+      (float_of_int !tot_heap /. float_of_int (max 1 !tot_ev))
+      !tot_boxed
+      (float_of_int !tot_boxed /. float_of_int (max 1 !tot_ev))
+      (float_of_int !tot_boxed /. float_of_int (max 1 !tot_heap))
+      (float_of_int (Harness.Artifact.trace_bytes store) /. 1024.0)
+  in
+  Cmd.v
+    (Cmd.info "trace-stats"
+       ~doc:"Memory statistics of the packed dynamic traces")
+    Term.(const run $ workloads_filter $ level_arg $ jobs_arg $ pus_arg
+          $ pred_arg)
+
 (* --- table1 / figure5 ---------------------------------------------------- *)
 
 let table1_cmd =
@@ -404,9 +474,9 @@ let main =
   in
   Cmd.group info
     [
-      list_cmd; run_cmd; breakdown_cmd; dump_cmd; lint_cmd; table1_cmd;
-      figure5_cmd; run_file_cmd; export_cmd; dot_cmd; superscalar_cmd;
-      timeline_cmd;
+      list_cmd; run_cmd; breakdown_cmd; dump_cmd; lint_cmd; trace_stats_cmd;
+      table1_cmd; figure5_cmd; run_file_cmd; export_cmd; dot_cmd;
+      superscalar_cmd; timeline_cmd;
     ]
 
 let () = exit (Cmd.eval main)

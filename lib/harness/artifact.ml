@@ -113,6 +113,31 @@ let level_index level =
   in
   go 0 Core.Heuristics.all_levels
 
+let traces t =
+  Mutex.lock t.mu;
+  let landed =
+    Hashtbl.fold
+      (fun key cell acc ->
+        match cell with
+        | Ready art -> (key, art.trace) :: acc
+        | Pending | Failed _ -> acc)
+      t.pipeline []
+  in
+  Mutex.unlock t.mu;
+  List.sort
+    (fun ((ka : key), _) ((kb : key), _) ->
+      compare
+        (ka.workload, level_index ka.level, ka.params, ka.profile_alt,
+         ka.variant)
+        (kb.workload, level_index kb.level, kb.params, kb.profile_alt,
+         kb.variant))
+    landed
+
+let trace_bytes t =
+  List.fold_left
+    (fun acc (_, trace) -> acc + Interp.Trace.bytes trace)
+    0 (traces t)
+
 let sim_results t =
   Mutex.lock t.mu;
   let landed =

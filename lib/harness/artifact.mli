@@ -75,3 +75,12 @@ val builds : t -> int
 val sim_results : t -> (key * (int * bool) * Sim.Stats.t) list
 (** Every simulation recorded by {!sim}, sorted deterministically
     (workload, level, params, profile, variant, PUs, issue discipline). *)
+
+val traces : t -> (key * Interp.Trace.t) list
+(** Every packed trace resident in the pipeline cache, sorted like
+    {!sim_results} (without the machine axes). *)
+
+val trace_bytes : t -> int
+(** Total resident bytes of all cached packed traces
+    ({!Interp.Trace.bytes} summed over {!traces}) — the store's dominant
+    memory term. *)

@@ -72,6 +72,46 @@ let results_of_store store =
       else None)
     (Artifact.sim_results store)
 
+(* --- trace statistics ------------------------------------------------------ *)
+
+type trace_stat = {
+  t_workload : string;
+  t_level : Core.Heuristics.level;
+  t_events : int;
+  t_insns : int;
+  t_addrs : int;
+  t_heap_words : int;
+  t_boxed_words : int;
+  t_bytes : int;
+}
+
+let trace_stat_of_trace ~workload ~level (trace : Interp.Trace.t) =
+  let s = Interp.Trace.stats trace in
+  {
+    t_workload = workload;
+    t_level = level;
+    t_events = s.Interp.Trace.events;
+    t_insns = trace.Interp.Trace.dyn_insns;
+    t_addrs = s.Interp.Trace.addrs;
+    t_heap_words = s.Interp.Trace.heap_words;
+    t_boxed_words = s.Interp.Trace.boxed_words;
+    t_bytes = Interp.Trace.bytes trace;
+  }
+
+let trace_stats_of_store store =
+  List.filter_map
+    (fun ((key : Artifact.key), trace) ->
+      if
+        key.Artifact.params = Core.Heuristics.default
+        && (not key.Artifact.profile_alt)
+        && key.Artifact.variant = Artifact.base_variant
+      then
+        Some
+          (trace_stat_of_trace ~workload:key.Artifact.workload
+             ~level:key.Artifact.level trace)
+      else None)
+    (Artifact.traces store)
+
 (* --- JSON ----------------------------------------------------------------- *)
 
 let level_tag = function
@@ -106,6 +146,19 @@ let result_to_json r =
     ]
 
 let to_json results = Json.List (List.map result_to_json results)
+
+let trace_stat_to_json t =
+  Json.Obj
+    [
+      ("workload", Json.String t.t_workload);
+      ("level", Json.String (level_tag t.t_level));
+      ("events", Json.Int t.t_events);
+      ("dyn_insns", Json.Int t.t_insns);
+      ("addrs", Json.Int t.t_addrs);
+      ("heap_words", Json.Int t.t_heap_words);
+      ("boxed_words", Json.Int t.t_boxed_words);
+      ("bytes", Json.Int t.t_bytes);
+    ]
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -171,20 +224,40 @@ let result_of_json j =
       window_span;
     }
 
-let of_json = function
-  | Json.List items ->
-    List.fold_right
-      (fun item acc ->
-        let* rest = acc in
-        let* r = result_of_json item in
-        Ok (r :: rest))
-      items (Ok [])
-  | _ -> Error "expected a top-level list of results"
+let results_of_list items =
+  List.fold_right
+    (fun item acc ->
+      let* rest = acc in
+      let* r = result_of_json item in
+      Ok (r :: rest))
+    items (Ok [])
 
-let export ~path results =
+let of_json = function
+  (* legacy shape: a bare list of job results *)
+  | Json.List items -> results_of_list items
+  (* current shape: an object whose "jobs" member is that list (other
+     members, e.g. "trace", carry section-specific statistics) *)
+  | Json.Obj _ as j -> (
+    match Json.member "jobs" j with
+    | Some (Json.List items) -> results_of_list items
+    | Some _ -> Error "field \"jobs\": expected a list of results"
+    | None -> Error "missing field \"jobs\"")
+  | _ -> Error "expected a top-level list or object of results"
+
+let export ~path ?trace results =
+  let json =
+    match trace with
+    | None -> to_json results
+    | Some stats ->
+      Json.Obj
+        [
+          ("jobs", to_json results);
+          ("trace", Json.List (List.map trace_stat_to_json stats));
+        ]
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (Json.to_string (to_json results));
+      output_string oc (Json.to_string json);
       output_char oc '\n')

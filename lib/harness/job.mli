@@ -50,8 +50,38 @@ val results_of_store : Artifact.t -> result list
     default-machine simulation whose pipeline used default parameters, the
     baseline variant and self-profiling, in deterministic order. *)
 
-val to_json : result list -> Json.t
-val of_json : Json.t -> (result list, string) Stdlib.result
+(** {1 Trace statistics}
 
-val export : path:string -> result list -> unit
-(** Write [to_json] to [path] (with a trailing newline). *)
+    Alongside simulation results, a store holds the packed traces the
+    pipelines produced; their memory statistics ride along in the JSON
+    export as the "trace" section. *)
+
+type trace_stat = {
+  t_workload : string;
+  t_level : Core.Heuristics.level;
+  t_events : int;       (** dynamic block instances *)
+  t_insns : int;        (** dynamic instructions *)
+  t_addrs : int;        (** effective addresses recorded *)
+  t_heap_words : int;   (** resident heap words, packed representation *)
+  t_boxed_words : int;  (** what the legacy boxed layout would occupy *)
+  t_bytes : int;        (** packed resident bytes *)
+}
+
+val trace_stat_of_trace :
+  workload:string -> level:Core.Heuristics.level -> Interp.Trace.t -> trace_stat
+
+val trace_stats_of_store : Artifact.t -> trace_stat list
+(** Memory statistics of every cached packed trace built with default
+    parameters, baseline variant and self-profiling, in deterministic
+    order (the trace-side counterpart of {!results_of_store}). *)
+
+val to_json : result list -> Json.t
+
+val of_json : Json.t -> (result list, string) Stdlib.result
+(** Accepts both export shapes: the legacy bare list of job results and the
+    current [{"jobs": [...], ...}] object. *)
+
+val export : path:string -> ?trace:trace_stat list -> result list -> unit
+(** Write the results to [path] (with a trailing newline).  Without [trace]
+    the file is the legacy bare list; with it, an object with "jobs" and
+    "trace" members. *)

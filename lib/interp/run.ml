@@ -49,7 +49,7 @@ let eval_fcmp op a b =
   | Feq -> Float.equal a b
   | Fne -> not (Float.equal a b)
 
-let execute ?(max_steps = 30_000_000) prog =
+let execute ?on_event ?(max_steps = 30_000_000) prog =
   let bindings = Ir.Prog.Smap.bindings prog.Ir.Prog.funcs in
   let fnames = Array.of_list (List.map fst bindings) in
   let funcs = Array.of_list (List.map snd bindings) in
@@ -67,8 +67,7 @@ let execute ?(max_steps = 30_000_000) prog =
   let profile = Profile.create () in
   (* last writer of each register: (fid, blk), or (-1, -1) initially *)
   let last_writer = Array.make Ir.Reg.count (-1, -1) in
-  let events = ref [] in
-  let num_events = ref 0 in
+  let buf = Trace.Builder.create () in
   let steps = ref 0 in
   let get r = if r = Ir.Reg.zero then Ir.Value.zero else regs.(r) in
   let geti r = Ir.Value.to_int (get r) in
@@ -87,8 +86,7 @@ let execute ?(max_steps = 30_000_000) prog =
     let f = funcs.(!cur_fid) in
     let b = Ir.Func.block f !cur_blk in
     Profile.bump_block profile !cur_fid !cur_blk;
-    let addrs = ref [] in
-    let num_addrs = ref 0 in
+    Trace.Builder.start_event buf ~fid:!cur_fid ~blk:!cur_blk;
     let note_dep r =
       if r <> Ir.Reg.zero then begin
         let wfid, wblk = last_writer.(r) in
@@ -122,13 +120,11 @@ let execute ?(max_steps = 30_000_000) prog =
         | Ir.Insn.Ftoi -> set d (Ir.Value.Int (int_of_float (getf s))))
       | Ir.Insn.Load (d, base, off) ->
         let a = geti base + off in
-        addrs := a :: !addrs;
-        incr num_addrs;
+        Trace.Builder.push_addr buf a;
         set d (read_mem a)
       | Ir.Insn.Store (s, base, off) ->
         let a = geti base + off in
-        addrs := a :: !addrs;
-        incr num_addrs;
+        Trace.Builder.push_addr buf a;
         Hashtbl.replace mem a (get s)
       | Ir.Insn.Cmov (d, c, s) ->
         if Ir.Value.is_true (get c) then set d (get s));
@@ -138,23 +134,10 @@ let execute ?(max_steps = 30_000_000) prog =
     incr steps;
     if !steps > max_steps then
       fail "exceeded %d dynamic instructions (infinite loop?)" max_steps;
-    (* record trace event *)
-    let addrs_arr =
-      if !num_addrs = 0 then [||]
-      else begin
-        let arr = Array.make !num_addrs 0 in
-        let rec fill i = function
-          | [] -> ()
-          | a :: rest ->
-            arr.(i) <- a;
-            fill (i - 1) rest
-        in
-        fill (!num_addrs - 1) !addrs;
-        arr
-      end
-    in
-    events := { Trace.fid = !cur_fid; blk = !cur_blk; addrs = addrs_arr } :: !events;
-    incr num_events;
+    (match on_event with
+    | Some f ->
+      f ~fid:!cur_fid ~blk:!cur_blk ~addrs:(Trace.Builder.last_event_addrs buf)
+    | None -> ());
     (* terminator *)
     let goto l =
       Profile.bump_edge profile !cur_fid !cur_blk l;
@@ -191,21 +174,5 @@ let execute ?(max_steps = 30_000_000) prog =
       result := get Ir.Reg.rv;
       running := false)
   done;
-  let events_arr = Array.make !num_events { Trace.fid = 0; blk = 0; addrs = [||] } in
-  let rec fill i = function
-    | [] -> ()
-    | e :: rest ->
-      events_arr.(i) <- e;
-      fill (i - 1) rest
-  in
-  fill (!num_events - 1) !events;
-  let trace =
-    {
-      Trace.prog;
-      fnames;
-      funcs;
-      events = events_arr;
-      dyn_insns = !steps;
-    }
-  in
+  let trace = Trace.Builder.finish buf ~prog ~fnames ~funcs ~dyn_insns:!steps in
   { trace; profile; steps = !steps; result = !result }

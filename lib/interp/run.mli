@@ -14,12 +14,22 @@ type outcome = {
   result : Ir.Value.t;   (** contents of [Reg.rv] at termination *)
 }
 
-val execute : ?max_steps:int -> Ir.Prog.t -> outcome
+val execute :
+  ?on_event:(fid:int -> blk:Ir.Block.label -> addrs:int array -> unit) ->
+  ?max_steps:int ->
+  Ir.Prog.t ->
+  outcome
 (** Run [prog] from its [main].  [max_steps] (default 30 million) bounds the
     dynamic instruction count; exceeding it raises {!Runtime_error}, as do
     division by zero and out-of-range switch conditions on negative values.
 
-    Loads from never-written memory read integer 0. *)
+    Loads from never-written memory read integer 0.
+
+    [on_event], if given, observes each completed dynamic block instance as
+    it happens — the boxed view of the stream the packed trace encodes.  It
+    exists for differential testing of the trace representation; the [addrs]
+    array is freshly decoded per event, so leaving it unset keeps execution
+    allocation-free per block. *)
 
 val initial_sp : int
 (** Initial stack-pointer value given to [main]. *)

@@ -701,6 +701,16 @@ let validate_plan plan =
    happens at link time (this library is built with -linkall). *)
 let () = Core.Partition.set_validator validate_plan
 
+(* --- packed trace audit ----------------------------------------------------- *)
+
+(* The decode audit itself lives with the representation
+   (Interp.Trace.check); here it is surfaced as a lint rule so the
+   suite-wide gate covers the dynamic artifact as well as the static plan. *)
+let check_trace trace =
+  match Interp.Trace.check trace with
+  | Ok () -> []
+  | Error msg -> [ Diag.error ~rule:"trace/decode" Diag.program_loc "%s" msg ]
+
 (* --- suite-wide enforcement ------------------------------------------------ *)
 
 type report = {
@@ -721,7 +731,9 @@ let check_suite ?jobs ?(levels = Core.Heuristics.all_levels) ~store entries =
       {
         workload = e.Workloads.Registry.name;
         level;
-        diags = check_plan art.Harness.Artifact.plan;
+        diags =
+          check_plan art.Harness.Artifact.plan
+          @ check_trace art.Harness.Artifact.trace;
       })
     pairs
 

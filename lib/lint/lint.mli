@@ -64,6 +64,12 @@ val validate_plan : Core.Partition.plan -> (unit, string) result
     error diagnostic (rule id and location included) plus a count of the
     rest.  This is what {!Core.Partition.validate} delegates to. *)
 
+val check_trace : Interp.Trace.t -> Diag.t list
+(** Packed-trace decode audit ([trace/decode]): {!Interp.Trace.check}
+    surfaced as a lint rule — event fields in range, address offsets
+    monotone and per-block consistent, sentinel and instruction totals
+    exact.  Empty list when the trace decodes cleanly. *)
+
 (** {1 Suite-wide enforcement} *)
 
 type report = {

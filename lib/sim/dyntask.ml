@@ -21,8 +21,7 @@ let is_ct = function
   | Ir.Block.Jump _ | Ir.Block.Halt -> false
 
 let chop (trace : Interp.Trace.t) ~(parts : Core.Task.partition array) =
-  let events = trace.Interp.Trace.events in
-  let n = Array.length events in
+  let n = Interp.Trace.num_events trace in
   let fid_of_name = Hashtbl.create 16 in
   Array.iteri
     (fun i name -> Hashtbl.replace fid_of_name name i)
@@ -32,15 +31,16 @@ let chop (trace : Interp.Trace.t) ~(parts : Core.Task.partition array) =
   let i = ref 0 in
   while !i < n do
     let first = !i in
-    let ev0 = events.(first) in
-    let part = parts.(ev0.Interp.Trace.fid) in
-    let task_idx = part.Core.Task.task_of_entry.(ev0.Interp.Trace.blk) in
+    let fid0 = Interp.Trace.get_fid trace first in
+    let blk0 = Interp.Trace.get_blk trace first in
+    let part = parts.(fid0) in
+    let task_idx = part.Core.Task.task_of_entry.(blk0) in
     if task_idx = -1 then
       raise
         (Not_closed
            (Printf.sprintf "event %d: block %s/L%d is not a task entry" first
-              trace.Interp.Trace.fnames.(ev0.Interp.Trace.fid)
-              ev0.Interp.Trace.blk));
+              trace.Interp.Trace.fnames.(fid0)
+              blk0));
     let task = part.Core.Task.tasks.(task_idx) in
     let size = ref 0 in
     let ct = ref 0 in
@@ -49,9 +49,10 @@ let chop (trace : Interp.Trace.t) ~(parts : Core.Task.partition array) =
     let depth = ref 0 in
     let continue_ = ref true in
     while !continue_ do
-      let ev = events.(!j) in
-      let blk = Interp.Trace.block trace ev in
-      size := !size + Ir.Block.size blk;
+      let ev_fid = Interp.Trace.get_fid trace !j in
+      let ev_blk = Interp.Trace.get_blk trace !j in
+      let blk = Interp.Trace.block_at trace !j in
+      size := !size + Interp.Trace.size_at trace !j;
       if is_ct blk.Ir.Block.term then incr ct;
       let advance () =
         if !j + 1 < n then begin
@@ -67,8 +68,7 @@ let chop (trace : Interp.Trace.t) ~(parts : Core.Task.partition array) =
       match blk.Ir.Block.term with
       | Ir.Block.Call (callee, _) ->
         let included =
-          !depth > 0
-          || part.Core.Task.included_calls.(ev.Interp.Trace.blk)
+          !depth > 0 || part.Core.Task.included_calls.(ev_blk)
         in
         if included then begin
           if advance () then incr depth
@@ -92,17 +92,18 @@ let chop (trace : Interp.Trace.t) ~(parts : Core.Task.partition array) =
             continue_ := false
           end
           else begin
-            let next = events.(!j + 1) in
+            let next_fid = Interp.Trace.get_fid trace (!j + 1) in
+            let next_blk = Interp.Trace.get_blk trace (!j + 1) in
             if
-              next.Interp.Trace.fid = ev0.Interp.Trace.fid
-              && Core.Task.Iset.mem next.Interp.Trace.blk task.Core.Task.blocks
-              && next.Interp.Trace.blk <> task.Core.Task.entry
+              next_fid = fid0
+              && Core.Task.Iset.mem next_blk task.Core.Task.blocks
+              && next_blk <> task.Core.Task.entry
             then begin
               incr j;
               depth := 0
             end
             else begin
-              kind := Fallthrough next.Interp.Trace.blk;
+              kind := Fallthrough next_blk;
               continue_ := false
             end
           end
@@ -121,21 +122,22 @@ let chop (trace : Interp.Trace.t) ~(parts : Core.Task.partition array) =
           continue_ := false
         end
         else begin
-          let next = events.(!j + 1) in
+          let next_fid = Interp.Trace.get_fid trace (!j + 1) in
+          let next_blk = Interp.Trace.get_blk trace (!j + 1) in
           if
-            next.Interp.Trace.fid = ev.Interp.Trace.fid
-            && Core.Task.Iset.mem next.Interp.Trace.blk task.Core.Task.blocks
-            && next.Interp.Trace.blk <> task.Core.Task.entry
+            next_fid = ev_fid
+            && Core.Task.Iset.mem next_blk task.Core.Task.blocks
+            && next_blk <> task.Core.Task.entry
           then incr j
           else begin
-            kind := Fallthrough next.Interp.Trace.blk;
+            kind := Fallthrough next_blk;
             continue_ := false
           end
         end
     done;
     instances :=
       {
-        fid = ev0.Interp.Trace.fid;
+        fid = fid0;
         task = task_idx;
         first;
         last = !j;

@@ -97,8 +97,7 @@ let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
       else Predict.Target.predict_and_update task_pred ~pc ~actual
     | Dyntask.Calls callee_fid ->
       (* push the continuation of the call block for the matching return *)
-      let last_ev = trace.Interp.Trace.events.(pinst.Dyntask.last) in
-      (match (Interp.Trace.block trace last_ev).Ir.Block.term with
+      (match (Interp.Trace.block_at trace pinst.Dyntask.last).Ir.Block.term with
       | Ir.Block.Call (_, cont) ->
         Predict.Ras.push ras
           (Layout.block_id layout ~fid:pinst.Dyntask.fid ~blk:cont)
@@ -280,10 +279,10 @@ let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
         let write_pos = ref (-1) in
         (let j = ref 0 in
          while !write_pos = -1 && !j < n_ev do
-           let ev = trace.Interp.Trace.events.(inst.Dyntask.first + !j) in
+           let i = inst.Dyntask.first + !j in
            if
-             ev.Interp.Trace.fid = inst.Dyntask.fid
-             && ev.Interp.Trace.blk = site.Timing.s_blk
+             Interp.Trace.get_fid trace i = inst.Dyntask.fid
+             && Interp.Trace.get_blk trace i = site.Timing.s_blk
            then write_pos := !j;
            incr j
          done);
@@ -292,13 +291,14 @@ let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
           let release = ref complete in
           (let j = ref (!write_pos + 1) in
            while !release = complete && !j < n_ev do
-             let ev = trace.Interp.Trace.events.(inst.Dyntask.first + !j) in
+             let i = inst.Dyntask.first + !j in
+             let ev_blk = Interp.Trace.get_blk trace i in
              if
-               ev.Interp.Trace.fid = inst.Dyntask.fid
-               && Core.Task.Iset.mem ev.Interp.Trace.blk task_blocks
+               Interp.Trace.get_fid trace i = inst.Dyntask.fid
+               && Core.Task.Iset.mem ev_blk task_blocks
                && not
                     (Core.Regcomm.may_rewrite rc ~task:inst.Dyntask.task
-                       ~blk:ev.Interp.Trace.blk ~reg:r)
+                       ~blk:ev_blk ~reg:r)
              then release := max t res.Timing.event_entry.(!j);
              incr j
            done);

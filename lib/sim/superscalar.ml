@@ -8,8 +8,7 @@ type pool = { units : int array }
 let make_pool n = { units = Array.make n 0 }
 
 let run (cfg : Config.t) (trace : Interp.Trace.t) =
-  let events = trace.Interp.Trace.events in
-  let n_events = Array.length events in
+  let n_events = Interp.Trace.num_events trace in
   let layout = Layout.create trace.Interp.Trace.funcs in
   let hier = Cache.Hierarchy.create cfg in
   let gshare = Predict.Gshare.create cfg in
@@ -120,10 +119,9 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) =
     complete_t
   in
   for j = 0 to n_events - 1 do
-    let ev = events.(j) in
-    let fid = ev.Interp.Trace.fid in
-    let blkl = ev.Interp.Trace.blk in
-    let blk = Interp.Trace.block trace ev in
+    let fid = Interp.Trace.get_fid trace j in
+    let blkl = Interp.Trace.get_blk trace j in
+    let blk = Interp.Trace.block_at trace j in
     let extra =
       Cache.Hierarchy.ifetch hier (Layout.block_addr layout ~fid ~blk:blkl)
     in
@@ -131,6 +129,7 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) =
       fetch_time := !fetch_time + extra;
       fetch_in_cycle := 0
     end;
+    let addr_base = Interp.Trace.addr_offset trace j in
     let next_addr = ref 0 in
     Array.iter
       (fun insn ->
@@ -147,7 +146,7 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) =
         in
         let mem =
           if Ir.Insn.is_mem insn then begin
-            let addr = ev.Interp.Trace.addrs.(!next_addr) in
+            let addr = Interp.Trace.addr_at trace (addr_base + !next_addr) in
             incr next_addr;
             match insn with
             | Ir.Insn.Load (_, _, _) -> Some (addr, true)
@@ -170,22 +169,23 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) =
     (* branch prediction across the whole stream *)
     let pc = Layout.block_id layout ~fid ~blk:blkl in
     (if j + 1 < n_events then begin
-       let next = events.(j + 1) in
+       let next_fid = Interp.Trace.get_fid trace (j + 1) in
+       let next_blk = Interp.Trace.get_blk trace (j + 1) in
        match blk.Ir.Block.term with
-       | Ir.Block.Br (_, l1, _) when next.Interp.Trace.fid = fid ->
+       | Ir.Block.Br (_, l1, _) when next_fid = fid ->
          stats.Stats.intra_branches <- stats.Stats.intra_branches + 1;
-         let taken = next.Interp.Trace.blk = l1 in
+         let taken = next_blk = l1 in
          if not (Predict.Gshare.predict_and_update gshare ~pc ~taken) then begin
            stats.Stats.intra_branch_mispredicts <-
              stats.Stats.intra_branch_mispredicts + 1;
            redirect (t_complete + cfg.Config.branch_redirect - 1)
          end
-       | Ir.Block.Switch (_, targets, _) when next.Interp.Trace.fid = fid ->
+       | Ir.Block.Switch (_, targets, _) when next_fid = fid ->
          stats.Stats.intra_branches <- stats.Stats.intra_branches + 1;
          let actual = ref (Array.length targets) in
          Array.iteri
            (fun k l ->
-             if l = next.Interp.Trace.blk && !actual = Array.length targets
+             if l = next_blk && !actual = Array.length targets
              then actual := k)
            targets;
          if
@@ -199,7 +199,7 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) =
        | Ir.Block.Br _ | Ir.Block.Switch _ | Ir.Block.Jump _ | Ir.Block.Call _
        | Ir.Block.Ret | Ir.Block.Halt -> ()
      end);
-    stats.Stats.dyn_insns <- stats.Stats.dyn_insns + Ir.Block.size blk
+    stats.Stats.dyn_insns <- stats.Stats.dyn_insns + Interp.Trace.size_at trace j
   done;
   stats.Stats.cycles <- !last_commit;
   stats.Stats.l1d_accesses <- Cache.accesses (Cache.Hierarchy.l1d hier);

@@ -52,8 +52,7 @@ let no_time = -1
 
 let run (cfg : Config.t) (trace : Interp.Trace.t) layout
     (inst : Dyntask.instance) env =
-  let events = trace.Interp.Trace.events in
-  let n_events = Array.length events in
+  let n_events = Interp.Trace.num_events trace in
   let pool_int = make_pool cfg.Config.fu_int in
   let pool_fp = make_pool cfg.Config.fu_fp in
   let pool_mem = make_pool cfg.Config.fu_mem in
@@ -244,10 +243,9 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) layout
   let num_inst_events = inst.Dyntask.last - inst.Dyntask.first + 1 in
   let event_entry = Array.make num_inst_events 0 in
   for j = inst.Dyntask.first to inst.Dyntask.last do
-    let ev = events.(j) in
-    let fid = ev.Interp.Trace.fid in
-    let blkl = ev.Interp.Trace.blk in
-    let blk = Interp.Trace.block trace ev in
+    let fid = Interp.Trace.get_fid trace j in
+    let blkl = Interp.Trace.get_blk trace j in
+    let blk = Interp.Trace.block_at trace j in
     (* I-cache: pay any miss latency before fetching the block *)
     let extra = env.ifetch_extra ~fid ~blk:blkl in
     if extra > 0 then begin
@@ -255,6 +253,7 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) layout
       fetch_in_cycle := 0
     end;
     event_entry.(j - inst.Dyntask.first) <- !fetch_time;
+    let addr_base = Interp.Trace.addr_offset trace j in
     let next_addr = ref 0 in
     Array.iteri
       (fun idx insn ->
@@ -273,7 +272,7 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) layout
         in
         let mem =
           if Ir.Insn.is_mem insn then begin
-            let addr = ev.Interp.Trace.addrs.(!next_addr) in
+            let addr = Interp.Trace.addr_at trace (addr_base + !next_addr) in
             incr next_addr;
             match insn with
             | Ir.Insn.Load (_, _, _) -> Some (addr, true)
@@ -303,31 +302,30 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) layout
     resolve := max !resolve t_complete;
     (* intra-task control prediction for conditional transfers *)
     let pc = Layout.block_id layout ~fid ~blk:blkl in
-    let next_blk_opt =
-      if j + 1 < n_events then Some events.(j + 1) else None
+    let next_in_fid =
+      j + 1 < n_events && Interp.Trace.get_fid trace (j + 1) = fid
     in
-    (match (blk.Ir.Block.term, next_blk_opt) with
-    | Ir.Block.Br (_, l1, _), Some next
-      when next.Interp.Trace.fid = fid ->
+    (match blk.Ir.Block.term with
+    | Ir.Block.Br (_, l1, _) when next_in_fid ->
       incr intra_branches;
-      let taken = next.Interp.Trace.blk = l1 in
+      let taken = Interp.Trace.get_blk trace (j + 1) = l1 in
       if not (env.cond_pred ~pc ~taken) then begin
         incr intra_mispredicts;
         if j < inst.Dyntask.last then redirect (t_complete + cfg.Config.branch_redirect - 1)
       end
-    | Ir.Block.Switch (_, targets, _), Some next
-      when next.Interp.Trace.fid = fid ->
+    | Ir.Block.Switch (_, targets, _) when next_in_fid ->
       incr intra_branches;
+      let next_blk = Interp.Trace.get_blk trace (j + 1) in
       let actual = ref (Array.length targets) in
       Array.iteri
-        (fun k l -> if l = next.Interp.Trace.blk && !actual = Array.length targets then actual := k)
+        (fun k l -> if l = next_blk && !actual = Array.length targets then actual := k)
         targets;
       if not (env.switch_pred ~pc ~actual:!actual) then begin
         incr intra_mispredicts;
         if j < inst.Dyntask.last then redirect (t_complete + cfg.Config.branch_redirect - 1)
       end
-    | (Ir.Block.Br _ | Ir.Block.Switch _ | Ir.Block.Jump _ | Ir.Block.Call _
-      | Ir.Block.Ret | Ir.Block.Halt), _ -> ())
+    | Ir.Block.Br _ | Ir.Block.Switch _ | Ir.Block.Jump _ | Ir.Block.Call _
+    | Ir.Block.Ret | Ir.Block.Halt -> ())
   done;
   let reg_writes = ref [] in
   for r = 0 to Ir.Reg.count - 1 do

@@ -229,6 +229,42 @@ let test_job_export_file () =
          | Error e -> Alcotest.fail e
          | Ok back -> checkb "file roundtrip" true (back = results)))
 
+let test_job_export_with_trace () =
+  let store = Harness.Artifact.create () in
+  let specs =
+    Harness.Job.specs_for
+      ~levels:[ Core.Heuristics.Basic_block ]
+      ~configs:[ (4, false) ]
+      [ "compress" ]
+  in
+  let results = Harness.Job.run ~jobs:1 store specs in
+  let trace = Harness.Job.trace_stats_of_store store in
+  checki "one trace record per workload" 1 (List.length trace);
+  let t = List.hd trace in
+  checkb "events counted" true (t.Harness.Job.t_events > 0);
+  checkb "packed resident below boxed" true
+    (t.Harness.Job.t_heap_words < t.Harness.Job.t_boxed_words);
+  let path = Filename.temp_file "harness_results_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Harness.Job.export ~path ~trace results;
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Harness.Json.parse (String.trim contents) with
+      | Error e -> Alcotest.fail e
+      | Ok parsed ->
+        (* the wrapped object shape still yields the same job results *)
+        (match Harness.Job.of_json parsed with
+         | Error e -> Alcotest.fail e
+         | Ok back -> checkb "jobs roundtrip through obj shape" true
+                        (back = results));
+        (match parsed with
+         | Harness.Json.Obj members ->
+           checkb "trace member present" true (List.mem_assoc "trace" members)
+         | _ -> Alcotest.fail "expected a JSON object at top level"))
+
 (* --- stats ----------------------------------------------------------------- *)
 
 let test_geomean () =
@@ -278,6 +314,8 @@ let () =
           Alcotest.test_case "spec grid" `Quick test_job_specs_grid;
           Alcotest.test_case "run + json" `Quick test_job_run_and_json_roundtrip;
           Alcotest.test_case "export file" `Quick test_job_export_file;
+          Alcotest.test_case "export with trace" `Quick
+            test_job_export_with_trace;
         ] );
       ( "stats",
         [ Alcotest.test_case "geomean" `Quick test_geomean ] );

@@ -206,16 +206,16 @@ let test_trace_follows_cfg () =
   let prog = Gen.square_sum_program 9 in
   let o = run prog in
   let tr = o.Interp.Run.trace in
-  let events = tr.Interp.Trace.events in
+  let n = Interp.Trace.num_events tr in
   let ok = ref true in
-  for j = 0 to Array.length events - 2 do
-    let ev = events.(j) and next = events.(j + 1) in
-    let b = Interp.Trace.block tr ev in
+  for j = 0 to n - 2 do
+    let b = Interp.Trace.block_at tr j in
     match b.Ir.Block.term with
     | Ir.Block.Jump _ | Ir.Block.Br _ | Ir.Block.Switch _ ->
       if
-        next.Interp.Trace.fid <> ev.Interp.Trace.fid
-        || not (List.mem next.Interp.Trace.blk (Ir.Block.successors b))
+        Interp.Trace.get_fid tr (j + 1) <> Interp.Trace.get_fid tr j
+        || not
+             (List.mem (Interp.Trace.get_blk tr (j + 1)) (Ir.Block.successors b))
       then ok := false
     | Ir.Block.Call _ | Ir.Block.Ret | Ir.Block.Halt -> ()
   done;
@@ -225,29 +225,28 @@ let test_trace_counts () =
   let prog = Gen.square_sum_program 9 in
   let o = run prog in
   let tr = o.Interp.Run.trace in
-  let total =
-    Array.fold_left
-      (fun acc ev -> acc + Interp.Trace.event_size tr ev)
-      0 tr.Interp.Trace.events
-  in
-  checki "dyn_insns = sum of event sizes" tr.Interp.Trace.dyn_insns total;
+  let total = ref 0 in
+  for j = 0 to Interp.Trace.num_events tr - 1 do
+    total := !total + Interp.Trace.size_at tr j
+  done;
+  checki "dyn_insns = sum of event sizes" tr.Interp.Trace.dyn_insns !total;
   checki "steps = dyn_insns" o.Interp.Run.steps tr.Interp.Trace.dyn_insns
 
 let test_trace_addr_counts () =
   let prog = Gen.fib_program 10 in
   let o = run prog in
   let tr = o.Interp.Run.trace in
-  checkb "each event has one addr per memory insn" true
-    (Array.for_all
-       (fun ev ->
-         let b = Interp.Trace.block tr ev in
-         let mems =
-           Array.fold_left
-             (fun acc i -> if Ir.Insn.is_mem i then acc + 1 else acc)
-             0 b.Ir.Block.insns
-         in
-         Array.length ev.Interp.Trace.addrs = mems)
-       tr.Interp.Trace.events)
+  let ok = ref true in
+  for j = 0 to Interp.Trace.num_events tr - 1 do
+    let b = Interp.Trace.block_at tr j in
+    let mems =
+      Array.fold_left
+        (fun acc i -> if Ir.Insn.is_mem i then acc + 1 else acc)
+        0 b.Ir.Block.insns
+    in
+    if Interp.Trace.addr_count tr j <> mems then ok := false
+  done;
+  checkb "each event has one addr per memory insn" true !ok
 
 let test_profile_block_freq () =
   let prog = Gen.square_sum_program 6 in
@@ -256,12 +255,11 @@ let test_profile_block_freq () =
   let profile = o.Interp.Run.profile in
   (* recount from the trace *)
   let counts = Hashtbl.create 16 in
-  Array.iter
-    (fun ev ->
-      let key = (ev.Interp.Trace.fid, ev.Interp.Trace.blk) in
-      Hashtbl.replace counts key
-        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
-    tr.Interp.Trace.events;
+  for j = 0 to Interp.Trace.num_events tr - 1 do
+    let key = (Interp.Trace.get_fid tr j, Interp.Trace.get_blk tr j) in
+    Hashtbl.replace counts key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
   checkb "profile matches trace" true
     (Hashtbl.fold
        (fun (fid, blk) n acc ->
@@ -308,10 +306,79 @@ let prop_trace_tiles =
     Gen.arbitrary_program (fun prog ->
       let o = run prog in
       let tr = o.Interp.Run.trace in
-      Array.fold_left
-        (fun acc ev -> acc + Interp.Trace.event_size tr ev)
-        0 tr.Interp.Trace.events
-      = o.Interp.Run.steps)
+      let total = ref 0 in
+      for j = 0 to Interp.Trace.num_events tr - 1 do
+        total := !total + Interp.Trace.size_at tr j
+      done;
+      !total = o.Interp.Run.steps)
+
+(* The packed representation against the boxed stream the interpreter used
+   to materialise: the [on_event] observer emits each (fid, blk, addrs)
+   event as it happens, and the packed trace must decode to exactly that
+   sequence. *)
+let prop_packed_decodes_legacy =
+  QCheck.Test.make ~name:"packed trace decodes to the legacy event stream"
+    ~count:30 Gen.arbitrary_program (fun prog ->
+      let legacy = ref [] in
+      let o =
+        Interp.Run.execute
+          ~on_event:(fun ~fid ~blk ~addrs ->
+            legacy := (fid, blk, addrs) :: !legacy)
+          prog
+      in
+      let tr = o.Interp.Run.trace in
+      let legacy = Array.of_list (List.rev !legacy) in
+      Interp.Trace.num_events tr = Array.length legacy
+      &&
+      let ok = ref true in
+      Array.iteri
+        (fun j (fid, blk, addrs) ->
+          if
+            Interp.Trace.get_fid tr j <> fid
+            || Interp.Trace.get_blk tr j <> blk
+            || Interp.Trace.event_addrs tr j <> addrs
+          then ok := false)
+        legacy;
+      !ok)
+
+let prop_trace_check =
+  QCheck.Test.make ~name:"packed traces pass the decode audit" ~count:30
+    Gen.arbitrary_program (fun prog ->
+      Interp.Trace.check (run prog).Interp.Run.trace = Ok ())
+
+(* Addresses above 2^31 do not fit the two-per-word pool packing; the pool
+   must transparently promote to one word per address, mid-stream, without
+   corrupting the addresses recorded before the promotion. *)
+let test_trace_wide_addresses () =
+  let huge = 1 lsl 40 in
+  let prog =
+    main_prog (fun _ b ->
+        Ir.Builder.li b t0 8;
+        Ir.Builder.li b t1 55;
+        Ir.Builder.store b t1 t0 0;
+        Ir.Builder.li b t0 huge;
+        Ir.Builder.li b t1 123;
+        Ir.Builder.store b t1 t0 3;
+        Ir.Builder.load b Ir.Reg.rv t0 3)
+  in
+  let o = run prog in
+  let tr = o.Interp.Run.trace in
+  checki "huge-address store/load round-trips" 123
+    (Ir.Value.to_int o.Interp.Run.result);
+  checkb "pool promoted to wide" true tr.Interp.Trace.awide;
+  checki "pre-promotion address survives" 8 (Interp.Trace.get_addr tr 0 0);
+  checki "wide address decodes exactly" (huge + 3)
+    (Interp.Trace.get_addr tr 0 1);
+  checkb "audit passes on a wide trace" true (Interp.Trace.check tr = Ok ())
+
+let test_trace_narrow_stays_packed () =
+  let tr = (run (Gen.fib_program 10)).Interp.Run.trace in
+  checkb "workload-range addresses keep the packed pool" false
+    tr.Interp.Trace.awide;
+  checkb "audit passes" true (Interp.Trace.check tr = Ok ());
+  let s = Interp.Trace.stats tr in
+  checkb "packed resident beats boxed by 4x" true
+    (s.Interp.Trace.boxed_words >= 4 * s.Interp.Trace.heap_words)
 
 let () =
   Alcotest.run "interp"
@@ -343,6 +410,8 @@ let () =
           Alcotest.test_case "follows CFG" `Quick test_trace_follows_cfg;
           Alcotest.test_case "counts" `Quick test_trace_counts;
           Alcotest.test_case "addresses" `Quick test_trace_addr_counts;
+          Alcotest.test_case "wide addresses" `Quick test_trace_wide_addresses;
+          Alcotest.test_case "packed pool" `Quick test_trace_narrow_stays_packed;
         ] );
       ( "profile",
         [
@@ -354,5 +423,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_interp_deterministic;
           QCheck_alcotest.to_alcotest prop_trace_tiles;
+          QCheck_alcotest.to_alcotest prop_packed_decodes_legacy;
+          QCheck_alcotest.to_alcotest prop_trace_check;
         ] );
     ]

@@ -416,6 +416,18 @@ let test_regcomm_needed_dead_register () =
     (Core.Regcomm.needed rc ~task:1 ~reg:r);
   checki "audit agrees" 0 (List.length (Lint.check_regcomm f part))
 
+(* --- packed-trace decode audit ------------------------------------------- *)
+
+let test_trace_decode () =
+  let tr = (Interp.Run.execute (Gen.fib_program 8)).Interp.Run.trace in
+  checki "clean trace lints clean" 0 (List.length (Lint.check_trace tr));
+  (* smash the first event word: the fid field decodes out of range *)
+  tr.Interp.Trace.packed.(0) <- max_int;
+  let ds = Lint.check_trace tr in
+  checkb "trace/decode" true (has_rule "trace/decode" ds);
+  checki "reported as error" (List.length ds)
+    (List.length (Lint.Diag.errors ds))
+
 (* --- the whole suite, every workload x every level ------------------------- *)
 
 let test_suite_zero_errors () =
@@ -467,6 +479,8 @@ let () =
           Alcotest.test_case "dead register" `Quick
             test_regcomm_needed_dead_register;
         ] );
+      ( "trace",
+        [ Alcotest.test_case "decode audit" `Quick test_trace_decode ] );
       ( "suite",
         [
           Alcotest.test_case "zero errors everywhere" `Slow

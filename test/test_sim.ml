@@ -473,6 +473,18 @@ let test_more_pus_not_slower () =
   checkb "8 PUs at least as fast as 1" true
     (s8.Sim.Stats.cycles <= s1.Sim.Stats.cycles)
 
+(* Chopping over the packed representation must still tile the trace
+   exactly: every event covered once, in order, sizes consistent — on
+   arbitrary generated programs at every heuristic level. *)
+let prop_chop_covers_packed =
+  QCheck.Test.make ~name:"chop tiles the packed trace at every level"
+    ~count:10 Gen.arbitrary_program (fun prog ->
+      List.for_all
+        (fun level ->
+          let tr, instances = chop_of level prog in
+          Sim.Dyntask.check_instances tr instances = Ok ())
+        Core.Heuristics.all_levels)
+
 let prop_engine_retires_everything =
   QCheck.Test.make ~name:"engine retires exactly the dynamic instructions"
     ~count:10 Gen.arbitrary_program (fun prog ->
@@ -516,6 +528,7 @@ let () =
           Alcotest.test_case "nested inclusion" `Quick
             test_chop_nested_included_calls;
           Alcotest.test_case "recursion" `Quick test_chop_recursion;
+          QCheck_alcotest.to_alcotest prop_chop_covers_packed;
         ] );
       ( "timing",
         [

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Smoke check for the experiment/bench path: full build, the complete test
-# suite, then the Table 1 section of the bench harness through the unified
-# experiment engine (serial, so the output is stable).  Run from anywhere:
+# suite, then the Table 1 and packed-trace memory sections of the bench
+# harness through the unified experiment engine (serial, so the output is
+# stable).  Run from anywhere:
 #
 #   tools/smoke.sh
 #
@@ -19,6 +20,6 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 dune build @lint
-HARNESS_JOBS=1 dune exec bench/main.exe -- table1
+HARNESS_JOBS=1 dune exec bench/main.exe -- table1 trace
 
 echo "smoke: OK"
