@@ -23,6 +23,9 @@
                 levels), exported to bench/lint.json for cross-commit diffs
      trace    - memory statistics of the packed trace representation vs the
                 boxed layout it replaced, exported into bench/results.json
+     account  - cycle attribution to the paper's Section-2 performance
+                issues over the full grid, exported to bench/account.json;
+                exits non-zero if any record violates conservation
      bechamel - wall-clock measurement of the pipeline stages
 
    Run with: dune exec bench/main.exe            (all sections)
@@ -32,7 +35,7 @@ let sections =
   if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
   else
     [ "table1"; "figure5"; "summary"; "superscalar"; "ablation"; "crossinput";
-      "lint"; "trace"; "bechamel" ]
+      "lint"; "trace"; "account"; "bechamel" ]
 
 let want s = List.mem s sections
 
@@ -427,6 +430,51 @@ let run_trace () =
   Printf.printf "store holds %.1f KB of packed traces\n"
     (float_of_int (Harness.Artifact.trace_bytes store) /. 1024.0)
 
+(* --- cycle accounting ------------------------------------------------------ *)
+
+(* Attribute every PU-cycle of the evaluation grid to the paper's §2
+   performance issues and export the records; the conservation invariant
+   (categories sum to PUs x cycles, exactly) gates the section, so a smoke
+   run fails the moment any attribution path leaks or double-counts. *)
+let run_account () =
+  line ();
+  print_endline
+    "ACCOUNT — cycle attribution to the paper's performance issues\n\
+     (all workloads x all levels x 1/2/4/8 PUs, out-of-order)";
+  line ();
+  let rows = Report.Breakdown.run ~store Workloads.Suite.all in
+  Format.printf "%a@." Report.Breakdown.pp_aggregate rows;
+  let accounts = Report.Breakdown.accounts rows in
+  let bad =
+    List.filter (fun a -> not (Harness.Job.conserved a)) accounts
+  in
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "account.json"
+    else "account.json"
+  in
+  Harness.Job.export_accounts ~path accounts;
+  Printf.printf "wrote %s (%d breakdown records)\n" path
+    (List.length accounts);
+  if bad <> [] then begin
+    List.iter
+      (fun (a : Harness.Job.account) ->
+        match Sim.Account.check a.Harness.Job.a_acct with
+        | Error msg ->
+          Printf.printf "CONSERVATION VIOLATION: %s %s %dPU %s: %s\n"
+            a.Harness.Job.a_spec.Harness.Job.workload
+            (Core.Heuristics.level_name a.Harness.Job.a_spec.Harness.Job.level)
+            a.Harness.Job.a_spec.Harness.Job.num_pus
+            (if a.Harness.Job.a_spec.Harness.Job.in_order then "in-order"
+             else "out-of-order")
+            msg
+        | Ok () -> ())
+      bad;
+    exit 1
+  end;
+  Printf.printf "conservation: %d/%d records exact\n" (List.length accounts)
+    (List.length accounts)
+
 (* --- bechamel ------------------------------------------------------------- *)
 
 let run_bechamel () =
@@ -513,6 +561,7 @@ let () =
   if want "crossinput" then run_crossinput ();
   if want "lint" then run_lint ();
   if want "trace" then run_trace ();
+  if want "account" then run_account ();
   if want "bechamel" then run_bechamel ();
   line ();
   export_results ();

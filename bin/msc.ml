@@ -3,7 +3,8 @@
    Subcommands:
      list        show the workload suite
      run         compile + simulate one workload on one configuration
-     breakdown   like run, but prints the full Figure-2 phase breakdown
+     breakdown   attribute every PU-cycle of the grid to the paper's
+                 performance issues (per workload x heuristic x PU count)
      dump        print the CFG and the task partition of a workload
      run-file    parse a textual IR program (see Ir.Parse) and simulate it
      export      print a workload in the textual IR format
@@ -139,14 +140,73 @@ let run_cmd =
           $ optimize_arg $ if_convert_arg $ schedule_arg)
 
 let breakdown_cmd =
-  let run name level pus in_order =
-    let _, s = simulate name level pus in_order in
-    Format.printf "%a@." Sim.Stats.pp s
+  let level_opt_arg =
+    let doc = "Restrict to one heuristic level (default: all four)." in
+    Arg.(value & opt (some level_conv) None & info [ "l"; "level" ] ~doc)
+  in
+  let pus_list_arg =
+    let doc = "Comma-separated PU counts of the grid." in
+    Arg.(value & opt string "1,2,4,8" & info [ "p"; "pus" ] ~docv:"PUS" ~doc)
+  in
+  let stats_arg =
+    let doc =
+      "Also print the full per-cell statistics record (Figure-2 phases, \
+       predictors, memory system)."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let bd_json_arg =
+    let doc = "Export the breakdown records as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run only level jobs pus_s in_order stats json =
+    let entries = suite_of only in
+    let levels =
+      match level with
+      | None -> Core.Heuristics.all_levels
+      | Some l -> [ l ]
+    in
+    let pus =
+      List.map
+        (fun s ->
+          match int_of_string_opt (String.trim s) with
+          | Some p when p > 0 -> p
+          | Some _ | None ->
+            Printf.eprintf "msc: bad PU count %S\n" s;
+            exit 1)
+        (String.split_on_char ',' pus_s)
+    in
+    let rows = Report.Breakdown.run ~store ?jobs ~levels ~pus ~in_order entries in
+    Format.printf "%a@." Report.Breakdown.pp rows;
+    Format.printf "%a@." Report.Breakdown.pp_aggregate rows;
+    if stats then
+      List.iter
+        (fun (r : Report.Experiment.run_result) ->
+          Format.printf "-- %s %s %dPU %s --@.%a@." r.Report.Experiment.workload
+            (Core.Heuristics.level_name r.Report.Experiment.level)
+            r.Report.Experiment.num_pus
+            (if r.Report.Experiment.in_order then "in-order"
+             else "out-of-order")
+            Sim.Stats.pp r.Report.Experiment.stats)
+        rows;
+    match json with
+    | None -> ()
+    | Some path ->
+      let accounts = Report.Breakdown.accounts rows in
+      (try Harness.Job.export_accounts ~path accounts with
+       | Sys_error msg ->
+         Printf.eprintf "msc: cannot write breakdown: %s\n" msg;
+         exit 1);
+      Printf.printf "wrote %s (%d breakdown records)\n" path
+        (List.length accounts)
   in
   Cmd.v
     (Cmd.info "breakdown"
-       ~doc:"Simulate and print the Figure-2 phase breakdown")
-    Term.(const run $ workload_arg $ level_arg $ pus_arg $ in_order_arg)
+       ~doc:
+         "Attribute every PU-cycle of the workload grid to the paper's \
+          performance issues")
+    Term.(const run $ workloads_filter $ level_opt_arg $ jobs_arg
+          $ pus_list_arg $ in_order_arg $ stats_arg $ bd_json_arg)
 
 (* --- dump ---------------------------------------------------------------- *)
 

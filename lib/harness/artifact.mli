@@ -18,7 +18,10 @@
     statistics for {!Sim.Config.default} machine configurations (keyed by
     [(key, num_pus, in_order)]); these recorded results are what
     {!Job.results_of_store} exports as the machine-readable perf
-    trajectory. *)
+    trajectory.  Each record carries its {!Sim.Account.t} cycle-attribution
+    breakdown, so breakdown reports ({!Job.accounts_of_store},
+    [msc breakdown], [bench/account.json]) are memoized alongside the
+    traces for free. *)
 
 type variant = {
   optimize : bool;    (** classical optimiser pipeline first *)

@@ -112,6 +112,37 @@ let trace_stats_of_store store =
       else None)
     (Artifact.traces store)
 
+(* --- cycle-accounting breakdowns ------------------------------------------- *)
+
+type account = {
+  a_spec : spec;
+  a_kind : Workloads.Registry.kind;
+  a_acct : Sim.Account.t;
+}
+
+let account_of_stats spec ~kind (s : Sim.Stats.t) =
+  { a_spec = spec; a_kind = kind; a_acct = s.Sim.Stats.acct }
+
+let accounts_of_store store =
+  List.filter_map
+    (fun ((key : Artifact.key), (num_pus, in_order), stats) ->
+      if
+        key.Artifact.params = Core.Heuristics.default
+        && (not key.Artifact.profile_alt)
+        && key.Artifact.variant = Artifact.base_variant
+      then
+        let spec =
+          { workload = key.Artifact.workload; level = key.Artifact.level;
+            num_pus; in_order }
+        in
+        let kind = (Workloads.Suite.find spec.workload).Workloads.Registry.kind in
+        Some (account_of_stats spec ~kind stats)
+      else None)
+    (Artifact.sim_results store)
+
+let conserved a =
+  match Sim.Account.check a.a_acct with Ok () -> true | Error _ -> false
+
 (* --- JSON ----------------------------------------------------------------- *)
 
 let level_tag = function
@@ -159,6 +190,35 @@ let trace_stat_to_json t =
       ("boxed_words", Json.Int t.t_boxed_words);
       ("bytes", Json.Int t.t_bytes);
     ]
+
+(* Integer-only on purpose: percentages are derived by readers, so the
+   golden-snapshot diffs in test/golden/ never chase float formatting. *)
+let account_to_json a =
+  let acct = a.a_acct in
+  Json.Obj
+    ([
+       ("workload", Json.String a.a_spec.workload);
+       ("kind", Json.String (Workloads.Registry.kind_name a.a_kind));
+       ("level", Json.String (level_tag a.a_spec.level));
+       ("num_pus", Json.Int a.a_spec.num_pus);
+       ("in_order", Json.Bool a.a_spec.in_order);
+       ("cycles", Json.Int acct.Sim.Account.cycles);
+       ("budget", Json.Int (Sim.Account.budget acct));
+     ]
+    @ List.map
+        (fun c -> (Sim.Account.name c, Json.Int (Sim.Account.get acct c)))
+        Sim.Account.all)
+
+let accounts_to_json accounts =
+  Json.Obj [ ("accounts", Json.List (List.map account_to_json accounts)) ]
+
+let export_accounts ~path accounts =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (accounts_to_json accounts));
+      output_char oc '\n')
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 

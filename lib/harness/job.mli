@@ -75,6 +75,40 @@ val trace_stats_of_store : Artifact.t -> trace_stat list
     parameters, baseline variant and self-profiling, in deterministic
     order (the trace-side counterpart of {!results_of_store}). *)
 
+(** {1 Cycle-accounting breakdowns}
+
+    A store's memoized simulations carry their {!Sim.Account.t} breakdown
+    inside the recorded statistics; these records expose them as jobs for
+    the bench [account] section ([bench/account.json]) and the
+    [msc breakdown] subcommand. *)
+
+type account = {
+  a_spec : spec;
+  a_kind : Workloads.Registry.kind;
+  a_acct : Sim.Account.t;
+}
+
+val account_of_stats :
+  spec -> kind:Workloads.Registry.kind -> Sim.Stats.t -> account
+
+val accounts_of_store : Artifact.t -> account list
+(** Breakdown of every memoized default-machine simulation whose pipeline
+    used default parameters, the baseline variant and self-profiling — same
+    selection and order as {!results_of_store}. *)
+
+val conserved : account -> bool
+(** Does the record satisfy {!Sim.Account.check}? *)
+
+val account_to_json : account -> Json.t
+(** Integer cycle counts per category plus the [budget] ([pus * cycles]);
+    percentages are left to readers so golden snapshots stay float-free. *)
+
+val accounts_to_json : account list -> Json.t
+(** The [{"accounts": [...]}] object written to [bench/account.json]. *)
+
+val export_accounts : path:string -> account list -> unit
+(** Write {!accounts_to_json} to [path] (with a trailing newline). *)
+
 val to_json : result list -> Json.t
 
 val of_json : Json.t -> (result list, string) Stdlib.result

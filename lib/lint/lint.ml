@@ -711,6 +711,34 @@ let check_trace trace =
   | Ok () -> []
   | Error msg -> [ Diag.error ~rule:"trace/decode" Diag.program_loc "%s" msg ]
 
+(* --- cycle-accounting conservation ----------------------------------------- *)
+
+(* The engine enforces conservation when a simulation finishes; this rule
+   re-derives it from the recorded statistics so the gate also covers
+   records that were aggregated, cached or deserialised after the fact. *)
+let check_account ~num_pus ~in_order (stats : Sim.Stats.t) =
+  let acct = stats.Sim.Stats.acct in
+  let machine =
+    Printf.sprintf "%d-PU %s machine" num_pus
+      (if in_order then "in-order" else "out-of-order")
+  in
+  match Sim.Account.check acct with
+  | Error msg ->
+    [ Diag.error ~rule:"acct/conserve" Diag.program_loc "%s: %s" machine msg ]
+  | Ok () ->
+    if
+      acct.Sim.Account.pus <> num_pus
+      || acct.Sim.Account.cycles <> stats.Sim.Stats.cycles
+    then
+      [
+        Diag.error ~rule:"acct/conserve" Diag.program_loc
+          "%s: breakdown records %d PUs x %d cycles but the simulation ran \
+           %d PUs for %d cycles"
+          machine acct.Sim.Account.pus acct.Sim.Account.cycles num_pus
+          stats.Sim.Stats.cycles;
+      ]
+    else []
+
 (* --- suite-wide enforcement ------------------------------------------------ *)
 
 type report = {
@@ -718,6 +746,11 @@ type report = {
   level : Core.Heuristics.level;
   diags : Diag.t list;
 }
+
+(* Machine configurations the accounting gate simulates; both appear in the
+   figure-5 grid, so a bench run that already simulated them pays nothing
+   extra (the store memoizes per (key, PUs, issue-discipline)). *)
+let acct_configs = [ (4, true); (8, false) ]
 
 let check_suite ?jobs ?(levels = Core.Heuristics.all_levels) ~store entries =
   let pairs =
@@ -733,7 +766,12 @@ let check_suite ?jobs ?(levels = Core.Heuristics.all_levels) ~store entries =
         level;
         diags =
           check_plan art.Harness.Artifact.plan
-          @ check_trace art.Harness.Artifact.trace;
+          @ check_trace art.Harness.Artifact.trace
+          @ List.concat_map
+              (fun (num_pus, in_order) ->
+                check_account ~num_pus ~in_order
+                  (Harness.Artifact.sim store art ~num_pus ~in_order))
+              acct_configs;
       })
     pairs
 

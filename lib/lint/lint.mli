@@ -70,6 +70,13 @@ val check_trace : Interp.Trace.t -> Diag.t list
     monotone and per-block consistent, sentinel and instruction totals
     exact.  Empty list when the trace decodes cleanly. *)
 
+val check_account : num_pus:int -> in_order:bool -> Sim.Stats.t -> Diag.t list
+(** Cycle-accounting conservation ([acct/conserve]): the recorded
+    {!Sim.Account.t} breakdown must have non-negative categories summing to
+    exactly [num_pus * cycles], and its budget must match the simulation the
+    stats describe.  Independent of the engine's own runtime check — this
+    rule re-derives the invariant from the stored record. *)
+
 (** {1 Suite-wide enforcement} *)
 
 type report = {
@@ -86,7 +93,11 @@ val check_suite :
   report list
 (** Lint every workload at every level (default: all four), fanning the
     plan builds out over the {!Harness.Pool} domains through the shared
-    artifact store.  Results are in input order (workload-major). *)
+    artifact store.  Each (workload, level) is additionally simulated on
+    two figure-5 machine configurations (4-PU in-order, 8-PU out-of-order)
+    through {!Harness.Artifact.sim} so the [acct/conserve] gate covers the
+    suite; the sims are memoized, so a bench run that already produced them
+    pays nothing extra.  Results are in input order (workload-major). *)
 
 val total_errors : report list -> int
 

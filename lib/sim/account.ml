@@ -1,0 +1,104 @@
+type category =
+  | Useful
+  | Ctrl_squash
+  | Data_wait
+  | Mem_squash
+  | Load_imbalance
+  | Overhead
+  | Idle
+
+let all =
+  [ Useful; Ctrl_squash; Data_wait; Mem_squash; Load_imbalance; Overhead;
+    Idle ]
+
+let name = function
+  | Useful -> "useful"
+  | Ctrl_squash -> "ctrl_squash"
+  | Data_wait -> "data_wait"
+  | Mem_squash -> "mem_squash"
+  | Load_imbalance -> "load_imbalance"
+  | Overhead -> "overhead"
+  | Idle -> "idle"
+
+type t = {
+  mutable pus : int;
+  mutable cycles : int;
+  mutable useful : int;
+  mutable ctrl_squash : int;
+  mutable data_wait : int;
+  mutable mem_squash : int;
+  mutable load_imbalance : int;
+  mutable overhead : int;
+  mutable idle : int;
+}
+
+let create () =
+  {
+    pus = 0;
+    cycles = 0;
+    useful = 0;
+    ctrl_squash = 0;
+    data_wait = 0;
+    mem_squash = 0;
+    load_imbalance = 0;
+    overhead = 0;
+    idle = 0;
+  }
+
+let get t = function
+  | Useful -> t.useful
+  | Ctrl_squash -> t.ctrl_squash
+  | Data_wait -> t.data_wait
+  | Mem_squash -> t.mem_squash
+  | Load_imbalance -> t.load_imbalance
+  | Overhead -> t.overhead
+  | Idle -> t.idle
+
+let add t cat n =
+  if n < 0 then
+    invalid_arg
+      (Printf.sprintf "Sim.Account.add: negative %s increment %d" (name cat) n);
+  match cat with
+  | Useful -> t.useful <- t.useful + n
+  | Ctrl_squash -> t.ctrl_squash <- t.ctrl_squash + n
+  | Data_wait -> t.data_wait <- t.data_wait + n
+  | Mem_squash -> t.mem_squash <- t.mem_squash + n
+  | Load_imbalance -> t.load_imbalance <- t.load_imbalance + n
+  | Overhead -> t.overhead <- t.overhead + n
+  | Idle -> t.idle <- t.idle + n
+
+let total t = List.fold_left (fun acc c -> acc + get t c) 0 all
+let budget t = t.pus * t.cycles
+
+let pct t cat =
+  let b = budget t in
+  if b = 0 then 0.0 else 100.0 *. float_of_int (get t cat) /. float_of_int b
+
+let check t =
+  match List.filter (fun c -> get t c < 0) all with
+  | c :: _ ->
+    Error (Printf.sprintf "category %s is negative (%d)" (name c) (get t c))
+  | [] ->
+    if t.pus < 0 || t.cycles < 0 then
+      Error
+        (Printf.sprintf "negative budget: %d PUs x %d cycles" t.pus t.cycles)
+    else if total t <> budget t then
+      Error
+        (Printf.sprintf
+           "cycle leak: categories sum to %d but %d PUs x %d cycles = %d"
+           (total t) t.pus t.cycles (budget t))
+    else Ok ()
+
+let finalize t ~pus ~cycles =
+  t.pus <- pus;
+  t.cycles <- cycles;
+  match check t with
+  | Ok () -> ()
+  | Error msg -> failwith ("Sim.Account conservation violated: " ^ msg)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%dPU x %d cycles:" t.pus t.cycles;
+  List.iter
+    (fun c -> Format.fprintf ppf " %s %d (%.1f%%)" (name c) (get t c) (pct t c))
+    all;
+  Format.fprintf ppf "@]"

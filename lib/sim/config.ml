@@ -34,6 +34,7 @@ type t = {
   predictor_bits : int;
   predictor_entries : int;
   task_path_history : bool;
+  perfect_task_pred : bool;
 }
 
 let default ~num_pus ~in_order =
@@ -76,6 +77,7 @@ let default ~num_pus ~in_order =
     predictor_bits = 16;
     predictor_entries = 64 * 1024;
     task_path_history = true;
+    perfect_task_pred = false;
   }
 
 let latency cfg = function

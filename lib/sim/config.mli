@@ -42,6 +42,9 @@ type t = {
   predictor_entries : int;    (** 64K *)
   task_path_history : bool;
       (** false degrades the inter-task predictor to bimodal (ablation) *)
+  perfect_task_pred : bool;
+      (** oracle next-task prediction: no control squashes ever (used to
+          isolate the other cycle sinks in accounting experiments) *)
 }
 
 val default : num_pus:int -> in_order:bool -> t

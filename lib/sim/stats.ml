@@ -26,6 +26,7 @@ type t = {
   mutable ring_sends : int;
   mutable window_span_samples : int;
   mutable window_span_total : int;
+  acct : Account.t;
 }
 
 let create () =
@@ -57,6 +58,7 @@ let create () =
     ring_sends = 0;
     window_span_samples = 0;
     window_span_total = 0;
+    acct = Account.create ();
   }
 
 let ipc t =
@@ -87,11 +89,12 @@ let pp ppf t =
      L1D %d/%d miss, L1I %d/%d miss, L2 %d/%d miss@,\
      phases: start %d, end %d, inter-comm %d, intra-dep %d, imbalance %d, \
      cf-penalty %d, mem-penalty %d@,\
-     measured window span %.1f@]"
+     measured window span %.1f@,\
+     account: %a@]"
     t.cycles t.dyn_insns t.tasks (ipc t) (avg_task_size t) (avg_ct_per_task t)
     (task_mispredict_rate t) t.task_mispredicts t.task_predictions
     (branch_mispredict_rate t) t.intra_branch_mispredicts t.intra_branches
     t.violations t.syncs t.arb_overflows t.l1d_misses t.l1d_accesses
     t.l1i_misses t.l1i_accesses t.l2_misses t.l2_accesses t.start_overhead
     t.end_overhead t.inter_task_comm t.intra_task_dep t.load_imbalance
-    t.cf_penalty t.mem_penalty (measured_window_span t)
+    t.cf_penalty t.mem_penalty (measured_window_span t) Account.pp t.acct

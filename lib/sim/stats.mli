@@ -37,6 +37,9 @@ type t = {
      dynamic instructions in flight when the task was assigned *)
   mutable window_span_samples : int;
   mutable window_span_total : int;
+  acct : Account.t;
+      (** full-coverage cycle attribution; conservation
+          ([Account.total = pus * cycles]) enforced at simulation end *)
 }
 
 val create : unit -> t

@@ -202,6 +202,10 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) =
     stats.Stats.dyn_insns <- stats.Stats.dyn_insns + Interp.Trace.size_at trace j
   done;
   stats.Stats.cycles <- !last_commit;
+  (* cycle accounting: the reference machine has no task machinery, so its
+     whole timeline is useful work on one PU *)
+  Account.add stats.Stats.acct Account.Useful stats.Stats.cycles;
+  Account.finalize stats.Stats.acct ~pus:1 ~cycles:stats.Stats.cycles;
   stats.Stats.l1d_accesses <- Cache.accesses (Cache.Hierarchy.l1d hier);
   stats.Stats.l1d_misses <- Cache.misses (Cache.Hierarchy.l1d hier);
   stats.Stats.l1i_accesses <- Cache.accesses (Cache.Hierarchy.l1i hier);

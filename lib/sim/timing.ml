@@ -347,3 +347,15 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) layout
     intra_wait = !intra_wait;
     sync_waits = !sync_waits;
   }
+
+(* Split an instance's execution window between useful work and inter-task
+   data waits.  [inter_wait] is a per-instruction sum of issue cycles lost to
+   operands produced by older tasks (ring arrivals, ARB forwards, overflow
+   holds); with multiple instructions blocked on the same arrival it can
+   exceed the wall-clock window, so it is clamped — attribution charges each
+   wall-clock cycle at most once. *)
+let attribute (res : result) ~start_fetch acct =
+  let window = max 0 (res.complete - start_fetch) in
+  let data_wait = min res.inter_wait window in
+  Account.add acct Account.Data_wait data_wait;
+  Account.add acct Account.Useful (window - data_wait)

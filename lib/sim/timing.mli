@@ -67,3 +67,10 @@ type result = {
 
 val run :
   Config.t -> Interp.Trace.t -> Layout.t -> Dyntask.instance -> env -> result
+
+val attribute : result -> start_fetch:int -> Account.t -> unit
+(** Charge the instance's execution window ([start_fetch] .. [complete]) to
+    {!Account.Data_wait} (inter-task operand waits, clamped to the window)
+    and {!Account.Useful} (everything else, including intra-task dependence
+    and structural stalls — uniprocessor costs, per the paper's §2 framing of
+    task-selection issues). *)

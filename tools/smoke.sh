@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Smoke check for the experiment/bench path: full build, the complete test
-# suite, then the Table 1 and packed-trace memory sections of the bench
-# harness through the unified experiment engine (serial, so the output is
-# stable).  Run from anywhere:
+# suite, then the Table 1, packed-trace memory and cycle-accounting sections
+# of the bench harness through the unified experiment engine (serial, so the
+# output is stable).  The account section writes bench/account.json and
+# exits non-zero if any record violates the conservation invariant
+# (categories summing to PUs x cycles), failing the smoke.  Run from
+# anywhere:
 #
 #   tools/smoke.sh
 #
@@ -20,6 +23,30 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 dune build @lint
-HARNESS_JOBS=1 dune exec bench/main.exe -- table1 trace
+HARNESS_JOBS=1 dune exec bench/main.exe -- table1 trace account
+
+# belt and braces: re-derive the conservation check from the exported JSON,
+# independently of the bench process that wrote it
+grep -q '"accounts":' bench/account.json || {
+  echo "smoke: bench/account.json missing breakdown records" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+accounts = json.load(open("bench/account.json"))["accounts"]
+cats = ["useful", "ctrl_squash", "data_wait", "mem_squash",
+        "load_imbalance", "overhead", "idle"]
+bad = [a for a in accounts
+       if sum(a[c] for c in cats) != a["budget"]
+       or any(a[c] < 0 for c in cats)]
+for a in bad[:10]:
+    print("smoke: conservation violated: %s %s %dPU" %
+          (a["workload"], a["level"], a["num_pus"]), file=sys.stderr)
+if bad:
+    sys.exit(1)
+print("smoke: conservation re-verified for %d records" % len(accounts))
+EOF
+fi
 
 echo "smoke: OK"
