@@ -26,6 +26,9 @@
      account  - cycle attribution to the paper's Section-2 performance
                 issues over the full grid, exported to bench/account.json;
                 exits non-zero if any record violates conservation
+     deps     - static cross-task dependence edges (Core.Depend) grounded
+                against the observed trace flows, exported to
+                bench/deps.json; exits non-zero on any soundness violation
      bechamel - wall-clock measurement of the pipeline stages
 
    Run with: dune exec bench/main.exe            (all sections)
@@ -35,7 +38,7 @@ let sections =
   if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
   else
     [ "table1"; "figure5"; "summary"; "superscalar"; "ablation"; "crossinput";
-      "lint"; "trace"; "account"; "bechamel" ]
+      "lint"; "trace"; "account"; "deps"; "bechamel" ]
 
 let want s = List.mem s sections
 
@@ -475,6 +478,40 @@ let run_account () =
   Printf.printf "conservation: %d/%d records exact\n" (List.length accounts)
     (List.length accounts)
 
+(* --- static dependences ----------------------------------------------------- *)
+
+(* Static cross-task dependence edges per plan, grounded against the
+   dynamic trace: every observed cross-instance store->load flow must be
+   statically predicted (the dep/sound contract).  A violation here means
+   the Analysis.Memdep over-approximation has a hole, so the section exits
+   non-zero just like a conservation leak in the account section. *)
+let run_deps () =
+  line ();
+  print_endline
+    "DEPS — static cross-task dependence edges vs observed trace flows\n\
+     (all workloads x all levels; penalties on the 8-PU out-of-order machine)";
+  line ();
+  let rows = Report.Deps.run ~store Workloads.Suite.all in
+  Format.printf "%a@." Report.Deps.pp rows;
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "deps.json"
+    else "deps.json"
+  in
+  let oc = open_out path in
+  output_string oc (Harness.Json.to_string (Report.Deps.to_json rows));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d dependence summaries)\n" path (List.length rows);
+  let violations = Report.Deps.violations rows in
+  if violations > 0 then begin
+    Printf.printf
+      "SOUNDNESS VIOLATION: %d observed dependences not statically predicted\n"
+      violations;
+    exit 1
+  end;
+  Printf.printf "soundness: every observed dependence predicted\n"
+
 (* --- bechamel ------------------------------------------------------------- *)
 
 let run_bechamel () =
@@ -562,6 +599,7 @@ let () =
   if want "lint" then run_lint ();
   if want "trace" then run_trace ();
   if want "account" then run_account ();
+  if want "deps" then run_deps ();
   if want "bechamel" then run_bechamel ();
   line ();
   export_results ();

@@ -11,6 +11,7 @@
      dot         emit a Graphviz CFG coloured by task
      superscalar simulate on the centralised superscalar reference machine
      lint        statically verify IR, partitions and register communication
+     deps        static cross-task dependence edges vs observed trace flows
      trace-stats memory statistics of the packed dynamic traces
      table1      regenerate the paper's Table 1
      figure5     regenerate the paper's Figure 5 *)
@@ -395,10 +396,22 @@ let lint_cmd =
     Arg.(value & opt (some level_conv) None & info [ "l"; "level" ] ~doc)
   in
   let lint_json_arg =
-    let doc = "Export the structured lint report as JSON to $(docv)." in
+    let doc =
+      "Export the structured lint report as JSON to $(docv) (same shape as \
+       bench/lint.json: per-plan diagnostics plus a rule_counts summary \
+       covering every registered rule)."
+    in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
-  let run only level jobs json =
+  let rule_arg =
+    let doc =
+      "Keep only diagnostics whose rule id matches this anchored glob \
+       ($(b,*) matches any substring), e.g. $(b,dep/*) or \
+       $(b,part/stale-*).  The exit status reflects the filtered set."
+    in
+    Arg.(value & opt (some string) None & info [ "rule" ] ~docv:"GLOB" ~doc)
+  in
+  let run only level rule jobs json =
     let entries = suite_of only in
     let levels =
       match level with
@@ -406,6 +419,9 @@ let lint_cmd =
       | Some l -> [ l ]
     in
     let reports = Lint.check_suite ?jobs ~levels ~store entries in
+    let reports =
+      match rule with None -> reports | Some pat -> Lint.filter_rule pat reports
+    in
     List.iter
       (fun (r : Lint.report) ->
         List.iter (fun d -> Format.printf "%a@." Lint.Diag.pp d) r.Lint.diags;
@@ -434,9 +450,61 @@ let lint_cmd =
   in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Statically verify IR, partitions and register communication")
-    Term.(const run $ workloads_filter $ level_opt_arg $ jobs_arg
+       ~doc:
+         "Statically verify IR, partitions, register communication and \
+          cross-task dependences (filter rule families with $(b,--rule))")
+    Term.(const run $ workloads_filter $ level_opt_arg $ rule_arg $ jobs_arg
           $ lint_json_arg)
+
+(* --- deps ------------------------------------------------------------------ *)
+
+let deps_cmd =
+  let level_opt_arg =
+    let doc = "Restrict to one heuristic level (default: all four)." in
+    Arg.(value & opt (some level_conv) None & info [ "l"; "level" ] ~doc)
+  in
+  let deps_json_arg =
+    let doc =
+      "Export the dependence summaries and per-level correlations as JSON \
+       to $(docv) (same shape as bench/deps.json)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run only level pus in_order jobs json =
+    let entries = suite_of only in
+    let levels =
+      match level with
+      | None -> Core.Heuristics.all_levels
+      | Some l -> [ l ]
+    in
+    let rows =
+      Report.Deps.run ~store ?jobs ~levels ~num_pus:pus ~in_order entries
+    in
+    Format.printf "%a@." Report.Deps.pp rows;
+    (match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Harness.Json.to_string (Report.Deps.to_json rows));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s (%d dependence summaries)\n" path
+        (List.length rows));
+    let violations = Report.Deps.violations rows in
+    if violations > 0 then begin
+      Printf.printf
+        "deps: %d observed dependences NOT statically predicted\n" violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "deps"
+       ~doc:
+         "Static cross-task dependence edges (Core.Depend) grounded against \
+          the observed trace flows, with per-level correlation against the \
+          data_wait/mem_squash cycle shares")
+    Term.(const run $ workloads_filter $ level_opt_arg $ pus_arg
+          $ in_order_arg $ jobs_arg $ deps_json_arg)
 
 (* --- trace-stats ----------------------------------------------------------- *)
 
@@ -534,9 +602,9 @@ let main =
   in
   Cmd.group info
     [
-      list_cmd; run_cmd; breakdown_cmd; dump_cmd; lint_cmd; trace_stats_cmd;
-      table1_cmd; figure5_cmd; run_file_cmd; export_cmd; dot_cmd;
-      superscalar_cmd; timeline_cmd;
+      list_cmd; run_cmd; breakdown_cmd; dump_cmd; lint_cmd; deps_cmd;
+      trace_stats_cmd; table1_cmd; figure5_cmd; run_file_cmd; export_cmd;
+      dot_cmd; superscalar_cmd; timeline_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,374 @@
+(* Flow-insensitive whole-program address analysis (see memdep.mli for the
+   soundness argument).  Values are strided intervals; the fixpoint joins
+   over every definition in every function because registers are
+   architecturally global. *)
+
+(* --- strided intervals ---------------------------------------------------- *)
+
+(* { x | lo <= x <= hi, x = lo (mod stride) }.  [min_int]/[max_int] are the
+   -inf/+inf sentinels.  Invariants kept by [mk]: lo <= hi; stride = 0 only
+   for finite singletons; stride = 1 whenever lo = -inf; for finite bounds
+   and stride > 0, hi = lo (mod stride). *)
+type value = Bot | Iv of { lo : int; hi : int; stride : int }
+
+let neg_inf = min_int
+let pos_inf = max_int
+let is_fin x = x > neg_inf && x < pos_inf
+
+let bot = Bot
+let top = Iv { lo = neg_inf; hi = pos_inf; stride = 1 }
+
+let rec gcd_ a b = if b = 0 then a else gcd_ b (a mod b)
+let gcd a b = gcd_ (abs a) (abs b)
+
+let mk lo hi stride =
+  if lo > hi then Bot
+  else if lo = pos_inf || hi = neg_inf then top (* saturated past the rails *)
+  else if lo = hi then if is_fin lo then Iv { lo; hi; stride = 0 } else top
+  else
+    let stride = if (not (is_fin lo)) || stride <= 0 then 1 else stride in
+    (* snap hi down onto the grid anchored at lo *)
+    let hi =
+      if is_fin lo && is_fin hi && stride > 1 then
+        lo + ((hi - lo) / stride * stride)
+      else hi
+    in
+    if lo = hi then Iv { lo; hi; stride = 0 } else Iv { lo; hi; stride }
+
+let singleton n = mk n n 0
+let range ?(stride = 1) lo hi = mk lo hi stride
+
+let is_bot v = v = Bot
+let is_top v = v = top
+let equal (a : value) b = a = b
+
+(* Saturating arithmetic.  Callers only feed lo-bounds (never +inf) to the
+   lo slot and hi-bounds (never -inf) to the hi slot, so the infinity
+   absorption below is unambiguous. *)
+let sadd a b =
+  if a = neg_inf || b = neg_inf then neg_inf
+  else if a = pos_inf || b = pos_inf then pos_inf
+  else
+    let s = a + b in
+    if a > 0 && b > 0 && s <= 0 then pos_inf
+    else if a < 0 && b < 0 && s >= 0 then neg_inf
+    else s
+
+let sneg x = if x = neg_inf then pos_inf else if x = pos_inf then neg_inf else -x
+
+let smul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let inf_sign pos = if pos then pos_inf else neg_inf in
+    if a = neg_inf || a = pos_inf || b = neg_inf || b = pos_inf then
+      inf_sign (a > 0 = (b > 0))
+    else
+      let p = a * b in
+      if p / b <> a then inf_sign (a > 0 = (b > 0)) else p
+
+(* The machine wraps; intervals do not.  Whenever an operation on finite
+   bounds would exceed the native range we fall to [top] ("poison") instead
+   of silently saturating, so wrapped runtime values stay covered.  Already
+   unbounded operands are only ever combined additively (per-step growth is
+   bounded, and the interpreter's 30M-step budget keeps small-constant
+   chains far from the rails); multiplicative ops on unbounded operands go
+   straight to [top]. *)
+
+let join a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | Iv a, Iv b ->
+    let lo = min a.lo b.lo and hi = max a.hi b.hi in
+    let stride =
+      if not (is_fin a.lo && is_fin b.lo) then 1
+      else
+        let d = a.lo - b.lo in
+        (* anchor distance must be exact for the congruence claim; mixed
+           signs can wrap the subtraction *)
+        let exact = a.lo >= 0 = (b.lo >= 0) || d >= 0 = (a.lo >= 0) in
+        if exact then gcd (gcd a.stride b.stride) d else 1
+    in
+    mk lo hi stride
+
+let vadd a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv x, Iv y ->
+    let lo = sadd x.lo y.lo and hi = sadd x.hi y.hi in
+    let overflowed =
+      (is_fin x.lo && is_fin y.lo && not (is_fin lo))
+      || (is_fin x.hi && is_fin y.hi && not (is_fin hi))
+    in
+    if overflowed then top
+    else
+      let stride =
+        if is_fin x.lo && is_fin y.lo then gcd x.stride y.stride else 1
+      in
+      mk lo hi stride
+
+let vadd_const v c = vadd v (singleton c)
+
+let vneg = function
+  | Bot -> Bot
+  | Iv v -> mk (sneg v.hi) (sneg v.lo) v.stride
+
+let vsub a b = vadd a (vneg b)
+
+let vmul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv x, Iv y ->
+    if not (is_fin x.lo && is_fin x.hi && is_fin y.lo && is_fin y.hi) then top
+    else
+      let cs = [ smul x.lo y.lo; smul x.lo y.hi; smul x.hi y.lo; smul x.hi y.hi ] in
+      if List.exists (fun c -> not (is_fin c)) cs then top
+      else
+        let lo = List.fold_left min pos_inf cs
+        and hi = List.fold_left max neg_inf cs in
+        let stride =
+          if x.stride = 0 then smul (abs x.lo) y.stride
+          else if y.stride = 0 then smul (abs y.lo) x.stride
+          else 1
+        in
+        let stride = if is_fin stride then stride else 1 in
+        mk lo hi stride
+
+let vcmp = mk 0 1 1
+
+let may_intersect a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> false
+  | Iv a, Iv b ->
+    if a.lo > b.hi || b.lo > a.hi then false
+    else if not (is_fin a.lo && is_fin b.lo) then true
+    else
+      let g = gcd a.stride b.stride in
+      if g = 0 then a.lo = b.lo
+      else
+        let d = a.lo - b.lo in
+        let exact = a.lo >= 0 = (b.lo >= 0) || d >= 0 = (a.lo >= 0) in
+        if not exact then true else d mod g = 0
+
+let pp_bound ppf x =
+  if x = neg_inf then Format.pp_print_string ppf "-inf"
+  else if x = pos_inf then Format.pp_print_string ppf "+inf"
+  else Format.pp_print_int ppf x
+
+let pp_value ppf = function
+  | Bot -> Format.pp_print_string ppf "empty"
+  | Iv v ->
+    if v.lo = neg_inf && v.hi = pos_inf then Format.pp_print_string ppf "any"
+    else if v.lo = v.hi then Format.fprintf ppf "{%d}" v.lo
+    else begin
+      Format.fprintf ppf "[%a..%a]" pp_bound v.lo pp_bound v.hi;
+      if v.stride > 1 then Format.fprintf ppf "/%d" v.stride
+    end
+
+let value_to_string v = Format.asprintf "%a" pp_value v
+
+(* --- whole-program fixpoint ----------------------------------------------- *)
+
+type site = {
+  blk : Ir.Block.label;
+  idx : int;
+  store : bool;
+  region : value;
+}
+
+type t = {
+  prog : Ir.Prog.t;
+  regs : value array;
+  mem : value;
+  rounds : int;
+  site_tbl : site list Ir.Prog.Smap.t;
+}
+
+(* Widening after the first few rounds: any bound still growing jumps to
+   infinity.  Strides only ever shrink (each join takes a gcd including the
+   previous stride), so termination follows from the divisor chain. *)
+let widen old j =
+  match (old, j) with
+  | Bot, v | v, Bot -> v
+  | Iv o, Iv n ->
+    let lo = if n.lo < o.lo then neg_inf else n.lo in
+    let hi = if n.hi > o.hi then pos_inf else n.hi in
+    mk lo hi n.stride
+
+let eval_op regs = function
+  | Ir.Insn.Reg r -> regs.(r)
+  | Ir.Insn.Imm k -> singleton k
+
+(* Abstract result of a [Bin] — shared by the global fixpoint and the
+   block-local sharpening pass, which differ only in how the result is
+   written back (join vs strong update). *)
+let bin_value regs op s o =
+  let a = regs.(s) and b = eval_op regs o in
+  match op with
+  | Ir.Insn.Add -> vadd a b
+  | Ir.Insn.Sub -> vsub a b
+  | Ir.Insn.Mul -> vmul a b
+  | Ir.Insn.Div | Ir.Insn.Rem -> top
+  | Ir.Insn.Shl -> (
+    match o with
+    | Ir.Insn.Imm k ->
+      let k = min 62 (max 0 k) in
+      vmul a (singleton (1 lsl k))
+    | Ir.Insn.Reg _ -> ( match a with Bot -> Bot | _ -> top))
+  | Ir.Insn.Shr -> ( match a with Bot -> Bot | _ -> top)
+  | Ir.Insn.And -> (
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Iv x, Iv m
+      when m.stride = 0 && m.lo >= 0
+           && m.lo land (m.lo + 1) = 0
+           && x.lo >= 0
+           && is_fin x.hi && x.hi <= m.lo ->
+      (* x land (2^k - 1) = x: the generator's bounded-index mask *)
+      a
+    | Iv x, Iv y ->
+      if x.lo >= 0 && y.lo >= 0 then mk 0 (min x.hi y.hi) 1 else top)
+  | Ir.Insn.Or | Ir.Insn.Xor -> (
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Iv x, Iv y ->
+      (* for non-negatives, (x lor y) <= x + y and xor <= or *)
+      if x.lo >= 0 && y.lo >= 0 then mk 0 (sadd x.hi y.hi) 1 else top)
+  | Ir.Insn.Lt | Ir.Insn.Le | Ir.Insn.Eq | Ir.Insn.Ne | Ir.Insn.Gt
+  | Ir.Insn.Ge ->
+    vcmp
+
+let analyze ~sp prog =
+  let regs = Array.make Ir.Reg.count (singleton 0) in
+  regs.(Ir.Reg.sp) <- singleton sp;
+  let mem =
+    ref
+      (List.fold_left
+         (fun acc (_, v) ->
+           match v with
+           | Ir.Value.Int n -> join acc (singleton n)
+           | Ir.Value.Flt _ -> top)
+         (singleton 0) prog.Ir.Prog.mem_init)
+  in
+  let round = ref 0 in
+  let widen_from = 3 and max_rounds = 64 in
+  let changed = ref true in
+  let temper old j =
+    let j = if !round > widen_from then widen old j else j in
+    if !round >= max_rounds && not (equal j old) then top else j
+  in
+  let assign d v =
+    if d <> Ir.Reg.zero then begin
+      let old = regs.(d) in
+      let j = temper old (join old v) in
+      if not (equal j old) then begin
+        regs.(d) <- j;
+        changed := true
+      end
+    end
+  in
+  let set_mem v =
+    let old = !mem in
+    let j = temper old (join old v) in
+    if not (equal j old) then begin
+      mem := j;
+      changed := true
+    end
+  in
+  let step_insn = function
+    | Ir.Insn.Nop -> ()
+    | Ir.Insn.Li (d, n) -> assign d (singleton n)
+    | Ir.Insn.Lf (d, _) -> assign d top
+    | Ir.Insn.Mov (d, s) -> assign d regs.(s)
+    | Ir.Insn.Cmov (d, _, s) -> assign d regs.(s)
+    | Ir.Insn.Bin (op, d, s, o) -> assign d (bin_value regs op s o)
+    | Ir.Insn.Fbin (_, d, _, _) -> assign d top
+    | Ir.Insn.Fcmp (_, d, _, _) -> assign d vcmp
+    | Ir.Insn.Fun (_, d, _) -> assign d top
+    | Ir.Insn.Load (d, _, _) -> assign d !mem
+    | Ir.Insn.Store (s, _, _) -> set_mem regs.(s)
+  in
+  while !changed do
+    changed := false;
+    incr round;
+    Ir.Prog.Smap.iter
+      (fun _ (f : Ir.Func.t) ->
+        Array.iter
+          (fun (b : Ir.Block.t) -> Array.iter step_insn b.Ir.Block.insns)
+          f.Ir.Func.blocks)
+      prog.Ir.Prog.funcs
+  done;
+  (* Site regions with block-local sharpening: a block executes in order,
+     so starting from the global env (which contains every value a register
+     can hold at block entry) and applying the transfer function with
+     STRONG updates insn by insn keeps each intermediate env a sound
+     over-approximation of the runtime state at that program point — and
+     recovers the exact literal for the ubiquitous "li addr; access"
+     pattern, which the flow-insensitive env drowns in the loader's zero
+     seed. *)
+  let site_tbl =
+    Ir.Prog.Smap.map
+      (fun (f : Ir.Func.t) ->
+        let acc = ref [] in
+        Array.iter
+          (fun (b : Ir.Block.t) ->
+            let local = Array.copy regs in
+            let set d v = if d <> Ir.Reg.zero then local.(d) <- v in
+            Array.iteri
+              (fun idx insn ->
+                (* the address operand is read before the insn's def *)
+                (match insn with
+                | Ir.Insn.Load (_, base, disp) ->
+                  acc :=
+                    {
+                      blk = b.Ir.Block.label;
+                      idx;
+                      store = false;
+                      region = vadd_const local.(base) disp;
+                    }
+                    :: !acc
+                | Ir.Insn.Store (_, base, disp) ->
+                  acc :=
+                    {
+                      blk = b.Ir.Block.label;
+                      idx;
+                      store = true;
+                      region = vadd_const local.(base) disp;
+                    }
+                    :: !acc
+                | _ -> ());
+                match insn with
+                | Ir.Insn.Nop | Ir.Insn.Store _ -> ()
+                | Ir.Insn.Li (d, n) -> set d (singleton n)
+                | Ir.Insn.Lf (d, _) -> set d top
+                | Ir.Insn.Mov (d, s) -> set d local.(s)
+                (* a cmov may keep the old value: join, not replace *)
+                | Ir.Insn.Cmov (d, _, s) -> set d (join local.(d) local.(s))
+                | Ir.Insn.Bin (op, d, s, o) -> set d (bin_value local op s o)
+                | Ir.Insn.Fbin (_, d, _, _) | Ir.Insn.Fun (_, d, _) ->
+                  set d top
+                | Ir.Insn.Fcmp (_, d, _, _) -> set d vcmp
+                | Ir.Insn.Load (d, _, _) -> set d !mem)
+              b.Ir.Block.insns)
+          f.Ir.Func.blocks;
+        List.rev !acc)
+      prog.Ir.Prog.funcs
+  in
+  { prog; regs; mem = !mem; rounds = !round; site_tbl }
+
+let rounds t = t.rounds
+let reg_value t r = t.regs.(r)
+let mem_value t = t.mem
+
+let sites t fname =
+  match Ir.Prog.Smap.find_opt fname t.site_tbl with
+  | Some l -> l
+  | None -> []
+
+let classify t v =
+  match v with
+  | Bot -> `Any
+  | Iv v ->
+    let mt = t.prog.Ir.Prog.mem_top in
+    if v.lo >= 0 && is_fin v.hi && v.hi < mt then `Data
+    else if v.lo >= mt then `Stack
+    else `Any

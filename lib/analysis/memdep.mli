@@ -1,0 +1,109 @@
+(** Flow-insensitive address analysis for memory dependences.
+
+    The task-selection heuristics reason about register def-use chains;
+    memory dependences between tasks are invisible to every static layer
+    and only surface dynamically as squash cycles.  This module supplies
+    the missing static half: a whole-program over-approximation of the
+    effective addresses every [Load]/[Store] site can touch, from which
+    {!Core.Depend} derives may-dependences between tasks.
+
+    {2 Abstract domain}
+
+    A register's abstract value is a {e strided interval}
+    [{ x | lo <= x <= hi, x = lo (mod stride) }] with [min_int]/[max_int]
+    standing for -inf/+inf — enough to classify the two address patterns the
+    workload generators emit: affine [base + k] frames and induction
+    [base + i*stride] array walks.  Anything the domain cannot track
+    (division, shifts by a register amount, float round-trips, values
+    loaded back from memory once the store set is imprecise) falls to the
+    full interval, i.e. "may alias anything".
+
+    {2 Soundness argument}
+
+    Registers are architecturally global (any def anywhere in the program
+    may reach any use: calls neither save nor restore), so the analysis
+    joins over {e every} definition in {e every} function plus the loader
+    state (all registers 0, [sp] = the initial stack pointer), iterating to
+    a fixpoint with interval widening.  Memory is a single abstract cell:
+    the join of the data-segment initialisation and every stored value, so
+    a [Load] result over-approximates anything the program could ever have
+    written.  By induction over execution steps, every runtime register
+    value is contained in its abstract value, hence every runtime effective
+    address [base + disp] is contained in the site's {!site.region}.  The
+    [dep/sound] lint rule re-checks this claim against the recorded dynamic
+    traces of the whole suite. *)
+
+(** {1 Values} *)
+
+type value
+(** An over-approximated set of integers (strided interval, or empty). *)
+
+val bot : value
+(** The empty set. *)
+
+val top : value
+(** Every integer ("may alias anything"). *)
+
+val singleton : int -> value
+
+val range : ?stride:int -> int -> int -> value
+(** [range ?stride lo hi] is [{ lo, lo+stride, ... } ∩ [lo, hi]]; [stride]
+    defaults to 1.  [min_int]/[max_int] denote unbounded ends.  Empty when
+    [lo > hi]. *)
+
+val join : value -> value -> value
+
+val may_intersect : value -> value -> bool
+(** Can the two sets share an element?  Over-approximate: [true] whenever
+    the intervals overlap and the stride congruences are compatible; never
+    [false] for sets with a real common element. *)
+
+val is_top : value -> bool
+val is_bot : value -> bool
+
+val equal : value -> value -> bool
+(** Structural equality of the abstract values (not set equality of [Bot]
+    corner cases — normalisation makes the two coincide in practice). *)
+
+val pp_value : Format.formatter -> value -> unit
+val value_to_string : value -> string
+
+(** {1 Whole-program analysis} *)
+
+type t
+
+val analyze : sp:int -> Ir.Prog.t -> t
+(** Run the global fixpoint.  [sp] is the loader's initial stack-pointer
+    value ({!Interp.Run.initial_sp} for real executions — this library
+    cannot depend on the interpreter, so the caller passes it in). *)
+
+val rounds : t -> int
+(** Fixpoint iterations taken (diagnostics). *)
+
+val reg_value : t -> Ir.Reg.t -> value
+(** Over-approximation of every value the register ever holds. *)
+
+val mem_value : t -> value
+(** Over-approximation of every value the program ever loads. *)
+
+type site = {
+  blk : Ir.Block.label;
+  idx : int;  (** instruction index within the block *)
+  store : bool;
+  region : value;  (** addresses the access may touch: [base + disp] *)
+}
+
+val sites : t -> string -> site list
+(** All memory-access sites of the named function, in block/index order.
+    Empty for unknown functions.  Regions are sharpened block-locally:
+    within a basic block the transfer function is re-applied with strong
+    updates starting from the global env, so an address materialised by an
+    earlier instruction of the same block ([li addr; store]) yields its
+    exact strided interval instead of the whole-program join (which always
+    contains the loader's zero seed). *)
+
+val classify : t -> value -> [ `Data | `Stack | `Any ]
+(** Coarse base-region classification of an address set: entirely inside
+    the static data segment ([0, mem_top)), entirely at or above it (the
+    stack grows down from [sp] far above [mem_top]), or straddling /
+    unbounded. *)

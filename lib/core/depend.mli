@@ -1,0 +1,75 @@
+(** Static cross-task dependence edges of a task-selection plan.
+
+    Combines the two dependence kinds the paper's §2 performance issues
+    trace back to:
+
+    - {b register edges} ([data_wait]): a producer task whose final value of
+      a register feeds an immediate successor task that reads it before
+      redefining it.  Each edge carries the paper's "produce early, consume
+      late" criticality pair — the {e producer height} (static instructions
+      from the producer's entry until the value is forwardable on the ring)
+      and the {e consumer depth} (static instructions from the consumer's
+      entry to the first read);
+    - {b memory edges} ([mem_squash]): a task containing a store whose
+      address region ({!Analysis.Memdep}) may intersect the address region
+      of a load in another (or the same, on re-execution) task, anywhere in
+      the program.  Stores and loads of callees executing inside an
+      included call are attributed to the enclosing task, mirroring
+      {!Sim.Dyntask.chop}.
+
+    This module is deliberately independent of {!Regcomm} — the [dep/reg]
+    lint rule differentially compares the register edges computed here
+    (from {!Analysis.Dataflow} liveness and private fixpoints) against a
+    recomputation from [Regcomm.needed]/[forwardable].
+
+    Everything here is an over-approximation: edges may be predicted that
+    never occur dynamically, but the [dep/sound] lint rule asserts that
+    every dynamically observed cross-task memory dependence is predicted. *)
+
+type task_id = { fn : string; task : int }
+
+type reg_edge = {
+  re_fn : string;  (** function whose partition the edge lives in *)
+  re_src : int;  (** producer task index *)
+  re_dst : int;  (** consumer task index (may equal [re_src]: loop task) *)
+  re_reg : Ir.Reg.t;
+  re_height : int;
+      (** static instructions from the producer's entry to the earliest
+          forwardable last write, inclusive; the producer's static size
+          when the value is only released at task exit *)
+  re_depth : int;
+      (** static instructions executed by the consumer before the first
+          read of the register *)
+  re_site : (Ir.Block.label * int) option;
+      (** the forwardable write site the height was taken from, if any —
+          exposed so the [dep/reg] audit can cross-check it against
+          {!Regcomm.forwardable} *)
+}
+
+type t
+
+val analyze : Partition.plan -> t
+
+val summary : t -> Analysis.Memdep.t
+(** The address analysis the memory edges were derived from. *)
+
+val reg_edges : t -> reg_edge list
+(** Sorted by [(re_fn, re_src, re_dst, re_reg)]. *)
+
+val mem_edges : t -> (task_id * task_id) list
+(** Store-task → load-task may-dependence pairs (self-pairs included),
+    sorted. *)
+
+val predicts_mem : t -> src:task_id -> dst:task_id -> bool
+
+val num_tasks : t -> int
+(** Tasks across every function of the plan. *)
+
+val num_load_sites : t -> int
+val num_store_sites : t -> int
+
+val task_stores : t -> task_id -> Analysis.Memdep.value list
+(** Deduplicated store-address regions of a task, included callees'
+    closure folded in.  Empty for unknown ids. *)
+
+val task_loads : t -> task_id -> Analysis.Memdep.value list

@@ -143,6 +143,76 @@ let accounts_of_store store =
 let conserved a =
   match Sim.Account.check a.a_acct with Ok () -> true | Error _ -> false
 
+(* --- static dependence summaries ------------------------------------------- *)
+
+type dep = {
+  d_workload : string;
+  d_kind : Workloads.Registry.kind;
+  d_level : Core.Heuristics.level;
+  d_tasks : int;
+  d_reg_edges : int;
+  d_mem_edges : int;
+  d_store_sites : int;
+  d_load_sites : int;
+  d_observed : int;
+  d_predicted_hit : int;
+  d_dyn_flows : int;
+}
+
+let dep_of_artifact (art : Artifact.artifact) =
+  let plan = art.Artifact.plan and trace = art.Artifact.trace in
+  let dep = Core.Depend.analyze plan in
+  let parts =
+    Array.map
+      (fun name -> Ir.Prog.Smap.find name plan.Core.Partition.parts)
+      trace.Interp.Trace.fnames
+  in
+  let instances = Sim.Dyntask.chop trace ~parts in
+  let observed = Sim.Memflow.observed trace ~instances in
+  let fnames = trace.Interp.Trace.fnames in
+  let hits, flows =
+    List.fold_left
+      (fun (hits, flows) (o : Sim.Memflow.edge) ->
+        let src =
+          { Core.Depend.fn = fnames.(o.Sim.Memflow.src_fid);
+            task = o.Sim.Memflow.src_task }
+        and dst =
+          { Core.Depend.fn = fnames.(o.Sim.Memflow.dst_fid);
+            task = o.Sim.Memflow.dst_task }
+        in
+        ( (if Core.Depend.predicts_mem dep ~src ~dst then hits + 1 else hits),
+          flows + o.Sim.Memflow.count ))
+      (0, 0) observed
+  in
+  {
+    d_workload = art.Artifact.key.Artifact.workload;
+    d_kind = art.Artifact.kind;
+    d_level = art.Artifact.key.Artifact.level;
+    d_tasks = Core.Depend.num_tasks dep;
+    d_reg_edges = List.length (Core.Depend.reg_edges dep);
+    d_mem_edges = List.length (Core.Depend.mem_edges dep);
+    d_store_sites = Core.Depend.num_store_sites dep;
+    d_load_sites = Core.Depend.num_load_sites dep;
+    d_observed = List.length observed;
+    d_predicted_hit = hits;
+    d_dyn_flows = flows;
+  }
+
+let dep_violations d = d.d_observed - d.d_predicted_hit
+
+let deps_of_store store =
+  List.filter_map
+    (fun ((key : Artifact.key), _trace) ->
+      if
+        key.Artifact.params = Core.Heuristics.default
+        && (not key.Artifact.profile_alt)
+        && key.Artifact.variant = Artifact.base_variant
+      then
+        let entry = Workloads.Suite.find key.Artifact.workload in
+        Some (dep_of_artifact (Artifact.get store ~level:key.Artifact.level entry))
+      else None)
+    (Artifact.traces store)
+
 (* --- JSON ----------------------------------------------------------------- *)
 
 let level_tag = function
@@ -208,6 +278,24 @@ let account_to_json a =
     @ List.map
         (fun c -> (Sim.Account.name c, Json.Int (Sim.Account.get acct c)))
         Sim.Account.all)
+
+(* Integer-only like accounts: precision ratios are derived by readers. *)
+let dep_to_json d =
+  Json.Obj
+    [
+      ("workload", Json.String d.d_workload);
+      ("kind", Json.String (Workloads.Registry.kind_name d.d_kind));
+      ("level", Json.String (level_tag d.d_level));
+      ("tasks", Json.Int d.d_tasks);
+      ("reg_edges", Json.Int d.d_reg_edges);
+      ("mem_edges", Json.Int d.d_mem_edges);
+      ("store_sites", Json.Int d.d_store_sites);
+      ("load_sites", Json.Int d.d_load_sites);
+      ("observed", Json.Int d.d_observed);
+      ("predicted_hit", Json.Int d.d_predicted_hit);
+      ("dyn_flows", Json.Int d.d_dyn_flows);
+      ("violations", Json.Int (dep_violations d));
+    ]
 
 let accounts_to_json accounts =
   Json.Obj [ ("accounts", Json.List (List.map account_to_json accounts)) ]

@@ -99,6 +99,47 @@ val accounts_of_store : Artifact.t -> account list
 val conserved : account -> bool
 (** Does the record satisfy {!Sim.Account.check}? *)
 
+(** {1 Static dependence summaries}
+
+    Per-(workload, level) counts from the {!Core.Depend} static inter-task
+    dependence analyzer, grounded against the dynamic trace: every observed
+    cross-instance store→load flow ({!Sim.Memflow}) is checked against the
+    static prediction.  Soundness means [d_predicted_hit = d_observed];
+    the gap to [d_mem_edges] measures precision (predicted pairs that never
+    materialise).  These records feed the bench [deps] section
+    ([bench/deps.json]) and the [msc deps] subcommand. *)
+
+type dep = {
+  d_workload : string;
+  d_kind : Workloads.Registry.kind;
+  d_level : Core.Heuristics.level;
+  d_tasks : int;           (** static tasks across the plan *)
+  d_reg_edges : int;       (** cross-task register def-use edges *)
+  d_mem_edges : int;       (** predicted store-task → load-task pairs *)
+  d_store_sites : int;     (** static store sites the regions summarise *)
+  d_load_sites : int;
+  d_observed : int;        (** distinct observed store→load task pairs *)
+  d_predicted_hit : int;   (** observed pairs the analyzer predicted *)
+  d_dyn_flows : int;       (** dynamic load occurrences behind [d_observed] *)
+}
+
+val dep_of_artifact : Artifact.artifact -> dep
+(** Analyze the artifact's plan and replay its trace.  Not memoized — the
+    analysis is cheap next to the pipeline that produced the artifact. *)
+
+val dep_violations : dep -> int
+(** [d_observed - d_predicted_hit]; non-zero means the static analysis is
+    unsound on this workload (the [dep/sound] lint rule fires). *)
+
+val deps_of_store : Artifact.t -> dep list
+(** Dependence summary of every cached default-parameter pipeline, baseline
+    variant and self-profiling — same selection and order as
+    {!trace_stats_of_store}. *)
+
+val dep_to_json : dep -> Json.t
+(** Integer-only counts (plus the derived [violations]); ratio metrics are
+    left to readers so golden snapshots stay float-free. *)
+
 val account_to_json : account -> Json.t
 (** Integer cycle counts per category plus the [budget] ([pus * cycles]);
     percentages are left to readers so golden snapshots stay float-free. *)

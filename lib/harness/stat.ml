@@ -9,3 +9,17 @@ let mean xs =
   match xs with
   | [] -> 0.0
   | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let pearson pts =
+  match pts with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let n = float_of_int (List.length pts) in
+    let fold f = List.fold_left (fun a p -> a +. f p) 0.0 pts in
+    let sx = fold fst and sy = fold snd in
+    let sxx = fold (fun (x, _) -> x *. x)
+    and syy = fold (fun (_, y) -> y *. y)
+    and sxy = fold (fun (x, y) -> x *. y) in
+    let cov = sxy -. (sx *. sy /. n) in
+    let vx = sxx -. (sx *. sx /. n) and vy = syy -. (sy *. sy /. n) in
+    if vx <= 0.0 || vy <= 0.0 then 0.0 else cov /. sqrt (vx *. vy)

@@ -8,3 +8,8 @@ val geomean : float list -> float
 
 val mean : float list -> float
 (** Arithmetic mean; empty list yields [0.0]. *)
+
+val pearson : (float * float) list -> float
+(** Pearson correlation coefficient of [(x, y)] samples.  Fewer than two
+    points, or zero variance on either axis, yields [0.0] (no linear
+    relationship can be estimated). *)

@@ -49,3 +49,25 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> Harness.Json.t
 val list_to_json : t list -> Harness.Json.t
+
+val of_json : Harness.Json.t -> (t, string) result
+(** Inverse of {!to_json} (serialize → parse → equal). *)
+
+val list_of_json : Harness.Json.t -> (t list, string) result
+
+(** {1 Rule registry}
+
+    Every checker registers its rule ids once at link time (the lint
+    library is built with [-linkall], so loading it populates the catalog).
+    The registry makes [bench/lint.json] diffs stable — zero-count entries
+    are emitted for every known rule — and lets tests assert id
+    uniqueness. *)
+
+val register_rule : string -> string -> unit
+(** [register_rule id description].
+    @raise Invalid_argument on duplicate or empty ids. *)
+
+val registered_rules : unit -> (string * string) list
+(** All registered [(id, description)] pairs, sorted by id. *)
+
+val is_registered : string -> bool

@@ -701,6 +701,50 @@ let validate_plan plan =
    happens at link time (this library is built with -linkall). *)
 let () = Core.Partition.set_validator validate_plan
 
+(* The rule catalog (DESIGN.md "Static verification" carries the prose
+   table).  Registered here, also at link time, so bench/lint.json can emit
+   stable zero-count entries and tests can assert id uniqueness. *)
+let () =
+  List.iter
+    (fun (id, desc) -> Diag.register_rule id desc)
+    [
+      ("ir/block-label", "block label disagrees with its array index");
+      ("ir/call-target", "call targets an unknown function");
+      ("ir/empty-func", "function has no blocks");
+      ("ir/empty-switch", "switch with no targets");
+      ("ir/invalid-reg", "instruction names an out-of-range register");
+      ("ir/label-range", "terminator targets an out-of-range label");
+      ("ir/no-main", "program's main function is missing");
+      ("ir/unreachable", "block unreachable from the function entry");
+      ("ir/use-before-def", "register read before any definition");
+      ("part/block-range", "task contains an out-of-range block");
+      ("part/closure-cont", "forced call continuation is no task entry");
+      ("part/closure-target", "inter-task transfer lands on no task entry");
+      ("part/connected", "task blocks not reachable from the task entry");
+      ("part/entry-mismatch", "task_of_entry disagrees with the task array");
+      ("part/entry-not-member", "task entry missing from its block set");
+      ("part/entry-task", "function entry block is no task entry");
+      ("part/fname", "partition names the wrong function");
+      ("part/hw-targets", "task exceeds the hardware target bound");
+      ("part/included-length", "included_calls length mismatch");
+      ("part/included-noncall", "included_calls marks a non-call block");
+      ("part/missing", "function has no partition");
+      ("part/stale-calls", "stored calls_out diverges from recomputation");
+      ("part/stale-ret", "stored has_ret diverges from recomputation");
+      ("part/stale-targets", "stored targets diverge from recomputation");
+      ("part/task-index-range", "task_of_entry holds an invalid index");
+      ("part/task-of-entry-length", "task_of_entry length mismatch");
+      ("part/uncovered", "reachable block belongs to no task");
+      ("part/unknown-func", "partition for a function not in the program");
+      ("regcomm/forwardable-diff", "Regcomm.forwardable diverges from audit");
+      ("regcomm/needed-diff", "Regcomm.needed diverges from audit");
+      ("regcomm/rewrite-diff", "Regcomm.may_rewrite diverges from audit");
+      ("trace/decode", "packed trace fails its decode audit");
+      ("acct/conserve", "cycle accounting violates conservation");
+      ("dep/sound", "observed cross-task memory dependence not predicted");
+      ("dep/reg", "Depend register edges diverge from Regcomm recomputation");
+    ]
+
 (* --- packed trace audit ----------------------------------------------------- *)
 
 (* The decode audit itself lives with the representation
@@ -739,6 +783,220 @@ let check_account ~num_pus ~in_order (stats : Sim.Stats.t) =
       ]
     else []
 
+(* --- static dependence audit ------------------------------------------------ *)
+
+(* dep/reg: recompute the cross-task register edge set from Core.Regcomm —
+   the module Core.Depend deliberately avoids — plus a recursive DFS
+   upward-exposure walk (a different shape from Depend's distance
+   fixpoints), and diff the two sets; additionally cross-check the
+   analyzer's chosen forwardable site against Regcomm.forwardable.
+   dep/sound: replay the packed trace and require every observed
+   cross-instance store->load flow to be predicted by the analyzer's
+   memory edges. *)
+
+let term_reads_reg (term : Ir.Block.terminator) r =
+  match term with
+  | Ir.Block.Br (c, _, _) | Ir.Block.Switch (c, _, _) -> c = r
+  | Ir.Block.Call _ | Ir.Block.Ret ->
+    (* registers are architecturally global *)
+    true
+  | Ir.Block.Jump _ | Ir.Block.Halt -> false
+
+(* Is [r] read before being written on some task path from the entry? *)
+let upward_exposed f ~included_calls (t : Core.Task.t) r =
+  let entry = t.Core.Task.entry in
+  let blocks = t.Core.Task.blocks in
+  let seen = ref Iset.empty in
+  let rec visit b =
+    if Iset.mem b !seen then false
+    else begin
+      seen := Iset.add b !seen;
+      let blk = Ir.Func.block f b in
+      let n = Array.length blk.Ir.Block.insns in
+      let rec scan i =
+        if i >= n then
+          term_reads_reg blk.Ir.Block.term r
+          || List.exists visit (task_succ f ~included_calls ~entry ~blocks b)
+        else
+          let insn = blk.Ir.Block.insns.(i) in
+          if List.mem r (Ir.Insn.uses insn) then true
+          else if List.mem r (Ir.Insn.defs insn) then false
+          else scan (i + 1)
+      in
+      scan 0
+    end
+  in
+  visit entry
+
+(* Last explicit def of [r] in block [b], if any — the only sites
+   Regcomm.forwardable can answer true for. *)
+let last_def_idx f b r =
+  let blk = Ir.Func.block f b in
+  let best = ref (-1) in
+  Array.iteri
+    (fun i insn -> if List.mem r (Ir.Insn.defs insn) then best := i)
+    blk.Ir.Block.insns;
+  !best
+
+let check_deps_func fname (f : Ir.Func.t) (part : Core.Task.partition) dep =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let rc = Core.Regcomm.create f part in
+  let included_calls = part.Core.Task.included_calls in
+  let tasks = part.Core.Task.tasks in
+  (* the reference edge set, from Regcomm facts *)
+  let twrites =
+    Array.map
+      (fun (t : Core.Task.t) ->
+        Iset.fold
+          (fun b acc -> Regset.union acc (block_writes f ~included_calls b))
+          t.Core.Task.blocks Regset.empty)
+      tasks
+  in
+  let exposed = Hashtbl.create 64 in
+  let exposed_in c r =
+    match Hashtbl.find_opt exposed (c, r) with
+    | Some v -> v
+    | None ->
+      let v = upward_exposed f ~included_calls tasks.(c) r in
+      Hashtbl.replace exposed (c, r) v;
+      v
+  in
+  let mine = Hashtbl.create 64 in
+  Array.iteri
+    (fun p (pt : Core.Task.t) ->
+      List.iter
+        (fun tgt ->
+          let c = part.Core.Task.task_of_entry.(tgt) in
+          if c >= 0 then
+            for r = 1 to Ir.Reg.count - 1 do
+              if
+                Regset.mem r twrites.(p)
+                && Core.Regcomm.needed rc ~task:p ~reg:r
+                && exposed_in c r
+              then Hashtbl.replace mine (p, c, r) ()
+            done)
+        pt.Core.Task.targets)
+    tasks;
+  let theirs = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Core.Depend.reg_edge) ->
+      Hashtbl.replace theirs (e.Core.Depend.re_src, e.Core.Depend.re_dst,
+                              e.Core.Depend.re_reg) ())
+    (List.filter
+       (fun (e : Core.Depend.reg_edge) -> e.Core.Depend.re_fn = fname)
+       (Core.Depend.reg_edges dep));
+  Hashtbl.iter
+    (fun (p, c, r) () ->
+      if not (Hashtbl.mem theirs (p, c, r)) then
+        add
+          (Diag.error ~rule:"dep/reg" (Diag.in_func ~task:p fname)
+             "analyzer misses register edge task %d -> task %d on %s \
+              (Regcomm says needed, written and upward-exposed)"
+             p c (Ir.Reg.name r)))
+    mine;
+  Hashtbl.iter
+    (fun (p, c, r) () ->
+      if not (Hashtbl.mem mine (p, c, r)) then
+        add
+          (Diag.error ~rule:"dep/reg" (Diag.in_func ~task:p fname)
+             "analyzer over-reports register edge task %d -> task %d on %s \
+              (not in the Regcomm recomputation)"
+             p c (Ir.Reg.name r)))
+    theirs;
+  (* criticality sites against Regcomm.forwardable *)
+  List.iter
+    (fun (e : Core.Depend.reg_edge) ->
+      if e.Core.Depend.re_fn = fname then
+        let p = e.Core.Depend.re_src and r = e.Core.Depend.re_reg in
+        match e.Core.Depend.re_site with
+        | Some (b, i) ->
+          if not (Core.Regcomm.forwardable rc ~task:p ~blk:b ~idx:i ~reg:r)
+          then
+            add
+              (Diag.error ~rule:"dep/reg"
+                 (Diag.in_func ~task:p ~block:b ~insn:i fname)
+                 "analyzer height site for %s is not forwardable per Regcomm"
+                 (Ir.Reg.name r))
+        | None ->
+          Iset.iter
+            (fun b ->
+              let i = last_def_idx f b r in
+              if
+                i >= 0
+                && Core.Regcomm.forwardable rc ~task:p ~blk:b ~idx:i ~reg:r
+              then
+                add
+                  (Diag.error ~rule:"dep/reg"
+                     (Diag.in_func ~task:p ~block:b ~insn:i fname)
+                     "analyzer found no forwardable site for %s but Regcomm \
+                      forwards the write at i%d"
+                     (Ir.Reg.name r) i))
+            tasks.(p).Core.Task.blocks)
+    (Core.Depend.reg_edges dep);
+  !ds
+
+let check_deps (plan : Core.Partition.plan) trace =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let dep = Core.Depend.analyze plan in
+  Smap.iter
+    (fun fname part ->
+      List.iter add
+        (check_deps_func fname
+           (Ir.Prog.find plan.Core.Partition.prog fname)
+           part dep))
+    plan.Core.Partition.parts;
+  let fnames = trace.Interp.Trace.fnames in
+  (match
+     Array.map
+       (fun name -> Smap.find name plan.Core.Partition.parts)
+       fnames
+   with
+  | exception Not_found ->
+    add
+      (Diag.error ~rule:"dep/sound" Diag.program_loc
+         "trace names a function the plan has no partition for")
+  | parts -> (
+    match Sim.Dyntask.chop trace ~parts with
+    | exception Sim.Dyntask.Not_closed msg ->
+      add
+        (Diag.error ~rule:"dep/sound" Diag.program_loc
+           "trace cannot be chopped into task instances: %s" msg)
+    | instances ->
+      List.iter
+        (fun (o : Sim.Memflow.edge) ->
+          let src =
+            { Core.Depend.fn = fnames.(o.Sim.Memflow.src_fid);
+              task = o.Sim.Memflow.src_task }
+          and dst =
+            { Core.Depend.fn = fnames.(o.Sim.Memflow.dst_fid);
+              task = o.Sim.Memflow.dst_task }
+          in
+          if not (Core.Depend.predicts_mem dep ~src ~dst) then
+            add
+              (Diag.error ~rule:"dep/sound"
+                 (Diag.in_func ~task:dst.Core.Depend.task dst.Core.Depend.fn)
+                 "observed memory dependence not predicted: store in \
+                  %s/task %d reaches a load at address %d (%d dynamic \
+                  occurrences)"
+                 src.Core.Depend.fn src.Core.Depend.task o.Sim.Memflow.addr
+                 o.Sim.Memflow.count))
+        (Sim.Memflow.observed trace ~instances)));
+  List.sort Diag.compare !ds
+
+(* --- rule filtering --------------------------------------------------------- *)
+
+(* Anchored shell-style glob over rule ids: '*' matches any substring. *)
+let rule_matches ~pat id =
+  let n = String.length pat and m = String.length id in
+  let rec go i j =
+    if i >= n then j >= m
+    else if pat.[i] = '*' then go (i + 1) j || (j < m && go i (j + 1))
+    else j < m && pat.[i] = id.[j] && go (i + 1) (j + 1)
+  in
+  go 0 0
+
 (* --- suite-wide enforcement ------------------------------------------------ *)
 
 type report = {
@@ -767,6 +1025,7 @@ let check_suite ?jobs ?(levels = Core.Heuristics.all_levels) ~store entries =
         diags =
           check_plan art.Harness.Artifact.plan
           @ check_trace art.Harness.Artifact.trace
+          @ check_deps art.Harness.Artifact.plan art.Harness.Artifact.trace
           @ List.concat_map
               (fun (num_pus, in_order) ->
                 check_account ~num_pus ~in_order
@@ -779,8 +1038,22 @@ let total_errors reports =
   List.fold_left (fun acc r -> acc + List.length (Diag.errors r.diags)) 0
     reports
 
+let filter_rule pat reports =
+  List.map
+    (fun r ->
+      {
+        r with
+        diags = List.filter (fun (d : Diag.t) -> rule_matches ~pat d.Diag.rule) r.diags;
+      })
+    reports
+
 let report_to_json reports =
   let rule_counts = Hashtbl.create 16 in
+  (* zero-count entries for every registered rule keep the diffs stable
+     when a rule family is added *)
+  List.iter
+    (fun (id, _) -> Hashtbl.replace rule_counts id 0)
+    (Diag.registered_rules ());
   List.iter
     (fun r ->
       List.iter

@@ -77,6 +77,26 @@ val check_account : num_pus:int -> in_order:bool -> Sim.Stats.t -> Diag.t list
     stats describe.  Independent of the engine's own runtime check — this
     rule re-derives the invariant from the stored record. *)
 
+val check_deps : Core.Partition.plan -> Interp.Trace.t -> Diag.t list
+(** Static dependence audit ([dep/*] rules) of {!Core.Depend} over the
+    plan:
+
+    - [dep/reg]: the analyzer's cross-task register edges are recomputed
+      from {!Core.Regcomm.needed} plus an independent upward-exposure DFS
+      and the two sets diffed; the analyzer's chosen criticality site must
+      satisfy {!Core.Regcomm.forwardable} (and when it found none, no
+      last-in-block write may be forwardable);
+    - [dep/sound]: the packed trace is chopped into dynamic task instances
+      and every observed cross-instance store→load flow must be predicted
+      by the analyzer's memory edges — the static analysis is an
+      over-approximation or it is broken.
+
+    Assumes a structurally valid plan (gate on {!check_plan} first). *)
+
+val rule_matches : pat:string -> string -> bool
+(** Anchored shell-style glob match over rule ids ([*] matches any
+    substring): [rule_matches ~pat:"dep/*" "dep/sound"] is [true]. *)
+
 (** {1 Suite-wide enforcement} *)
 
 type report = {
@@ -101,6 +121,12 @@ val check_suite :
 
 val total_errors : report list -> int
 
+val filter_rule : string -> report list -> report list
+(** Keep only the diagnostics whose rule id matches the glob (see
+    {!rule_matches}) — the [msc lint --rule] filter. *)
+
 val report_to_json : report list -> Harness.Json.t
 (** Reports plus an aggregate [rule_counts] object — the diffable summary
-    written to [bench/lint.json]. *)
+    written to [bench/lint.json].  [rule_counts] carries a (possibly zero)
+    entry for {e every} rule id registered via {!Diag.register_rule}, keys
+    sorted, so diffs stay stable when a rule family is added. *)

@@ -1,0 +1,25 @@
+(** Observed cross-task memory dependences, replayed from a packed trace.
+
+    Walks the dynamic task instances ({!Dyntask.chop}) in order, tracking
+    the last store to every effective address; a load served by a store
+    from a {e strictly earlier} instance is an observed inter-task memory
+    dependence — exactly the flows the Multiscalar ARB must catch and the
+    [dep/sound] lint rule checks against the static prediction of
+    {!Core.Depend}.  Intra-instance flows are excluded (they resolve inside
+    one PU); two instances of the same static task (loop re-entry) are not
+    — those stress inter-task speculation just the same. *)
+
+type edge = {
+  src_fid : int;
+  src_task : int;  (** task index within the source function's partition *)
+  dst_fid : int;
+  dst_task : int;
+  count : int;  (** dynamic load occurrences backing this static pair *)
+  addr : int;  (** one sample effective address, for diagnostics *)
+}
+
+val observed : Interp.Trace.t -> instances:Dyntask.instance array -> edge list
+(** Distinct (source task, destination task) pairs, sorted by
+    [(src_fid, src_task, dst_fid, dst_task)].  Stores inside included
+    callees attribute to the enclosing instance's task, mirroring
+    {!Dyntask.chop}. *)

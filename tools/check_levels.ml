@@ -27,7 +27,18 @@ let () =
                     e.Workloads.Registry.name
                     (Core.Heuristics.level_name level)
                     (Ir.Value.to_string base)
-                    (Ir.Value.to_string o.Interp.Run.result))))
+                    (Ir.Value.to_string o.Interp.Run.result)
+                else
+                  (* static cross-task dependence edges of the plan: a level
+                     that claims to cut data dependences should show it here *)
+                  let dep = Core.Depend.analyze plan in
+                  Printf.printf
+                    "%-10s %-16s tasks=%d reg-edges=%d mem-edges=%d\n%!"
+                    e.Workloads.Registry.name
+                    (Core.Heuristics.level_name level)
+                    (Core.Depend.num_tasks dep)
+                    (List.length (Core.Depend.reg_edges dep))
+                    (List.length (Core.Depend.mem_edges dep)))))
         Core.Heuristics.all_levels;
       Printf.printf "%-10s done\n%!" e.Workloads.Registry.name)
     Workloads.Suite.all

@@ -1,38 +1,49 @@
 #!/usr/bin/env bash
 # Smoke check for the experiment/bench path: full build, the complete test
-# suite, then the Table 1, packed-trace memory and cycle-accounting sections
-# of the bench harness through the unified experiment engine (serial, so the
-# output is stable).  The account section writes bench/account.json and
-# exits non-zero if any record violates the conservation invariant
-# (categories summing to PUs x cycles), failing the smoke.  Run from
-# anywhere:
+# suite, static verification, then the Table 1, packed-trace memory,
+# cycle-accounting and static-dependence sections of the bench harness
+# through the unified experiment engine (serial, so the output is stable).
+# The account section writes bench/account.json and exits non-zero if any
+# record violates the conservation invariant (categories summing to
+# PUs x cycles); the deps section writes bench/deps.json and exits non-zero
+# if any observed cross-task memory dependence escaped the static analyzer
+# (dep/sound).  Either failure fails the smoke.  Run from anywhere:
 #
 #   tools/smoke.sh
 #
-# The same bench-section check is wired as a dune alias:
+# Each phase runs as a named step: the banner identifies the phase and the
+# script stops at the first failing one, so a red smoke names its culprit.
 #
-#   dune build @bench-smoke
+# The bench-section checks are also wired as dune aliases:
 #
-# Static verification (IR, partition invariants, register-communication
-# audit over every workload at every level) is its own alias:
-#
-#   dune build @lint
+#   dune build @bench-smoke   # table1 + trace + account sections
+#   dune build @deps-smoke    # static-dependence soundness section
+#   dune build @lint          # static verification of every plan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-dune build
-dune runtest
-dune build @lint
-HARNESS_JOBS=1 dune exec bench/main.exe -- table1 trace account
+step() {
+  local name=$1
+  shift
+  echo "== smoke: $name =="
+  "$@" || { echo "smoke: FAILED at $name" >&2; exit 1; }
+}
+
+step build dune build
+step tests dune runtest
+step lint dune build @lint
+step bench env HARNESS_JOBS=1 dune exec bench/main.exe -- table1 trace account
+step deps env HARNESS_JOBS=1 dune exec bench/main.exe -- deps
 
 # belt and braces: re-derive the conservation check from the exported JSON,
 # independently of the bench process that wrote it
-grep -q '"accounts":' bench/account.json || {
-  echo "smoke: bench/account.json missing breakdown records" >&2
-  exit 1
-}
-if command -v python3 >/dev/null 2>&1; then
-  python3 - <<'EOF'
+check_account_json() {
+  grep -q '"accounts":' bench/account.json || {
+    echo "smoke: bench/account.json missing breakdown records" >&2
+    return 1
+  }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
 import json, sys
 accounts = json.load(open("bench/account.json"))["accounts"]
 cats = ["useful", "ctrl_squash", "data_wait", "mem_squash",
@@ -47,6 +58,33 @@ if bad:
     sys.exit(1)
 print("smoke: conservation re-verified for %d records" % len(accounts))
 EOF
-fi
+  fi
+}
+
+# same for the dependence export: soundness means every observed pair is
+# predicted, record by record
+check_deps_json() {
+  grep -q '"deps":' bench/deps.json || {
+    echo "smoke: bench/deps.json missing dependence summaries" >&2
+    return 1
+  }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json, sys
+deps = json.load(open("bench/deps.json"))["deps"]
+bad = [d for d in deps
+       if d["violations"] != 0 or d["predicted_hit"] != d["observed"]]
+for d in bad[:10]:
+    print("smoke: dep/sound violated: %s %s" %
+          (d["workload"], d["level"]), file=sys.stderr)
+if bad:
+    sys.exit(1)
+print("smoke: dep soundness re-verified for %d records" % len(deps))
+EOF
+  fi
+}
+
+step account-json check_account_json
+step deps-json check_deps_json
 
 echo "smoke: OK"
