@@ -14,7 +14,8 @@
      deps        static cross-task dependence edges vs observed trace flows
      trace-stats memory statistics of the packed dynamic traces
      table1      regenerate the paper's Table 1
-     figure5     regenerate the paper's Figure 5 *)
+     figure5     regenerate the paper's Figure 5
+     bench-time  wall-clock table1/figure5 into BENCH_figure5.json *)
 
 open Cmdliner
 
@@ -595,6 +596,96 @@ let figure5_cmd =
   Cmd.v (Cmd.info "figure5" ~doc:"Regenerate the paper's Figure 5")
     Term.(const run $ workloads_filter $ jobs_arg $ json_arg)
 
+(* --- bench-time ----------------------------------------------------------- *)
+
+(* Wall-clock the two headline reports so the perf trajectory of the
+   simulator core is machine-readable (tools/smoke.sh gates on it).  Each
+   section gets a fresh artifact store: the figure is the cold cost of the
+   full report, not whatever a previous section left memoized. *)
+
+let bench_time_cmd =
+  let out_arg =
+    let doc = "Output JSON path." in
+    Arg.(value & opt string "BENCH_figure5.json"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  (* same-machine references: the growth-seed core (pre event core) and the
+     PR-3 packed-trace core, both measured as `msc figure5` on the
+     single-core CI box this file's baseline JSON ships from *)
+  let seed_seconds = 60.9 in
+  let time_section f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let git_commit () =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with Sys_error _ | Unix.Unix_error _ -> "unknown"
+  in
+  let run only jobs out =
+    let suite = suite_of only in
+    let null = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+    let table1_s =
+      time_section (fun () ->
+          let store = Harness.Artifact.create () in
+          Format.fprintf null "%a@."
+            Report.Table1.pp (Report.Table1.run ~store ?jobs suite))
+    in
+    let figure5_s =
+      time_section (fun () ->
+          let store = Harness.Artifact.create () in
+          Format.fprintf null "%a@."
+            Report.Figure5.pp (Report.Figure5.run ~store ?jobs suite))
+    in
+    let json =
+      Harness.Json.Obj
+        [
+          ("commit", Harness.Json.String (git_commit ()));
+          ( "jobs",
+            Harness.Json.Int
+              (match jobs with
+              | Some j -> j
+              | None -> Harness.Pool.default_jobs ()) );
+          ("workloads", Harness.Json.Int (List.length suite));
+          ( "sections",
+            Harness.Json.List
+              [
+                Harness.Json.Obj
+                  [
+                    ("section", Harness.Json.String "table1");
+                    ("seconds", Harness.Json.Float table1_s);
+                  ];
+                Harness.Json.Obj
+                  [
+                    ("section", Harness.Json.String "figure5");
+                    ("seconds", Harness.Json.Float figure5_s);
+                    ("seed_seconds", Harness.Json.Float seed_seconds);
+                    ( "speedup_vs_seed",
+                      Harness.Json.Float (seed_seconds /. figure5_s) );
+                  ];
+              ] );
+        ]
+    in
+    let oc = open_out out in
+    output_string oc (Harness.Json.to_string ~indent:true json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf
+      "table1 %.2fs, figure5 %.2fs (%.1fx vs %.1fs seed); wrote %s\n" table1_s
+      figure5_s (seed_seconds /. figure5_s) seed_seconds out
+  in
+  Cmd.v
+    (Cmd.info "bench-time"
+       ~doc:
+         "Wall-clock the table1 and figure5 reports and record the timings \
+          (with the speedup over the growth-seed core) as JSON")
+    Term.(const run $ workloads_filter $ jobs_arg $ out_arg)
+
 let main =
   let info =
     Cmd.info "msc"
@@ -603,8 +694,8 @@ let main =
   Cmd.group info
     [
       list_cmd; run_cmd; breakdown_cmd; dump_cmd; lint_cmd; deps_cmd;
-      trace_stats_cmd; table1_cmd; figure5_cmd; run_file_cmd; export_cmd;
-      dot_cmd; superscalar_cmd; timeline_cmd;
+      trace_stats_cmd; table1_cmd; figure5_cmd; bench_time_cmd; run_file_cmd;
+      export_cmd; dot_cmd; superscalar_cmd; timeline_cmd;
     ]
 
 let () = exit (Cmd.eval main)

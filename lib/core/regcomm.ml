@@ -1,19 +1,32 @@
+(* Compiler register-communication analysis: which writes are final
+   (forward bits), which values may still be rewritten on some path, and
+   which registers any successor task could read before rewriting (dead
+   traffic the release bits never send).
+
+   The analysis itself runs once per (function, partition); its results
+   are then flattened into per-task lookup tables — a byte per register
+   for liveness-out, and per (block-in-task, register) a "forwardable at
+   instruction index" entry and a may-rewrite bit — because the simulator
+   queries these once per dynamic register write.  Tree-set membership and
+   tuple-keyed hashtable probes on that path cost an allocation and a
+   polymorphic hash per query; the flat tables are two array reads. *)
+
 module Iset = Task.Iset
 
 module Regset = Analysis.Dataflow.Regset
 
 type task_info = {
-  (* registers some successor may read before writing: the complement is
-     dead traffic the compiler's release bits never send *)
-  needed_out : Regset.t;
-  (* last write index of each register per block; the block's included-call
-     terminator registers as a write of every register at index [length
-     insns] *)
-  last_write : (Ir.Block.label * Ir.Reg.t, int) Hashtbl.t;
-  (* terminator index of each block ending in an included call *)
-  included_at : (Ir.Block.label, int) Hashtbl.t;
-  writes : (Ir.Block.label, Analysis.Dataflow.Regset.t) Hashtbl.t;
-  strict_reach : (Ir.Block.label, Iset.t) Hashtbl.t;
+  (* registers some successor may read before writing, one byte per
+     register: the complement is dead traffic *)
+  needed_b : Bytes.t;
+  (* dense index of each block inside this task, -1 outside *)
+  blk_off : int array;
+  (* per (block-in-task, reg): the unique instruction index whose write the
+     compiler can mark forwardable, or -1 *)
+  fwd : int array;
+  (* per (block-in-task, reg): may a block in the task at or after this one
+     still write the register? *)
+  rw : Bytes.t;
 }
 
 type t = { infos : task_info array }
@@ -54,7 +67,6 @@ let task_info f lv part (task : Task.t) =
   let last_write = Hashtbl.create 32 in
   let included_at = Hashtbl.create 4 in
   let writes = Hashtbl.create 8 in
-  let strict_reach = Hashtbl.create 8 in
   Iset.iter
     (fun b ->
       let blk = Ir.Func.block f b in
@@ -76,6 +88,7 @@ let task_info f lv part (task : Task.t) =
     task.Task.blocks;
   (* strict reachability inside the task (edges to the entry end the task
      and do not continue) *)
+  let strict_reach = Hashtbl.create 8 in
   Iset.iter
     (fun b ->
       let seen = ref Iset.empty in
@@ -92,7 +105,51 @@ let task_info f lv part (task : Task.t) =
       visit b;
       Hashtbl.replace strict_reach b !seen)
     task.Task.blocks;
-  { needed_out; last_write; included_at; writes; strict_reach }
+  (* flatten into the per-dynamic-write lookup tables *)
+  let nregs = Ir.Reg.count in
+  let needed_b = Bytes.make nregs '\000' in
+  for r = 0 to nregs - 1 do
+    if Regset.mem r needed_out then Bytes.set needed_b r '\001'
+  done;
+  let blk_off = Array.make (Ir.Func.num_blocks f) (-1) in
+  let ntb = ref 0 in
+  Iset.iter
+    (fun b ->
+      blk_off.(b) <- !ntb;
+      incr ntb)
+    task.Task.blocks;
+  let fwd = Array.make (!ntb * nregs) (-1) in
+  let rw = Bytes.make (!ntb * nregs) '\000' in
+  let writes_reg reg b =
+    match Hashtbl.find_opt writes b with
+    | Some ws -> Regset.mem reg ws
+    | None -> false
+  in
+  Iset.iter
+    (fun b ->
+      let base = blk_off.(b) * nregs in
+      let reach =
+        match Hashtbl.find_opt strict_reach b with
+        | Some s -> s
+        | None -> Iset.empty
+      in
+      for reg = 0 to nregs - 1 do
+        let reach_writes = Iset.exists (writes_reg reg) reach in
+        if writes_reg reg b || reach_writes then
+          Bytes.set rw (base + reg) '\001';
+        (match Hashtbl.find_opt last_write (b, reg) with
+        | Some last
+          when Hashtbl.find_opt included_at b <> Some last
+               && not reach_writes ->
+          (* the mega-write modelling an included callee registers as the
+             last write of every register at the terminator index, but the
+             compiler cannot mark forward bits inside a separately compiled
+             callee: that site itself is never forwardable *)
+          fwd.(base + reg) <- last
+        | Some _ | None -> ())
+      done)
+    task.Task.blocks;
+  { needed_b; blk_off; fwd; rw }
 
 let create f part =
   let lv = sound_liveness f in
@@ -100,44 +157,21 @@ let create f part =
 
 let needed t ~task ~reg =
   if task < 0 || task >= Array.length t.infos then true
-  else Regset.mem reg t.infos.(task).needed_out
+  else Bytes.unsafe_get t.infos.(task).needed_b reg <> '\000'
 
 let may_rewrite t ~task ~blk ~reg =
   if task < 0 || task >= Array.length t.infos then true
   else begin
     let info = t.infos.(task) in
-    let writes_reg b =
-      match Hashtbl.find_opt info.writes b with
-      | Some ws -> Analysis.Dataflow.Regset.mem reg ws
-      | None -> false
-    in
-    match Hashtbl.find_opt info.strict_reach blk with
-    | None -> true
-    | Some reach -> writes_reg blk || Iset.exists writes_reg reach
+    let o = info.blk_off.(blk) in
+    if o < 0 then true
+    else Bytes.unsafe_get info.rw ((o * Ir.Reg.count) + reg) <> '\000'
   end
 
 let forwardable t ~task ~blk ~idx ~reg =
   if task < 0 || task >= Array.length t.infos then false
   else begin
     let info = t.infos.(task) in
-    (* the mega-write modelling an included callee registers as the last
-       write of every register at the terminator index, but the compiler
-       cannot mark forward bits inside a separately compiled callee: that
-       site itself is never forwardable *)
-    if Hashtbl.find_opt info.included_at blk = Some idx then false
-    else
-    match Hashtbl.find_opt info.last_write (blk, reg) with
-    | None -> false
-    | Some last ->
-      idx = last
-      && (match Hashtbl.find_opt info.strict_reach blk with
-         | None -> false
-         | Some reach ->
-           not
-             (Iset.exists
-                (fun b' ->
-                  match Hashtbl.find_opt info.writes b' with
-                  | Some ws -> Analysis.Dataflow.Regset.mem reg ws
-                  | None -> false)
-                reach))
+    let o = info.blk_off.(blk) in
+    o >= 0 && info.fwd.((o * Ir.Reg.count) + reg) = idx
   end

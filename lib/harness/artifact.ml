@@ -31,6 +31,9 @@ type t = {
   mu : Mutex.t;
   landed : Condition.t;
   pipeline : (key, artifact cell) Hashtbl.t;
+  (* configuration-independent Sim.Engine.prep per pipeline artifact,
+     shared by every machine configuration simulated against it *)
+  preps : (key, Sim.Engine.prep cell) Hashtbl.t;
   sims : (key * int * bool, Sim.Stats.t cell) Hashtbl.t;
   mutable pipeline_builds : int;
 }
@@ -40,6 +43,7 @@ let create () =
     mu = Mutex.create ();
     landed = Condition.create ();
     pipeline = Hashtbl.create 64;
+    preps = Hashtbl.create 64;
     sims = Hashtbl.create 256;
     pipeline_builds = 0;
   }
@@ -95,10 +99,14 @@ let get t ?(params = Core.Heuristics.default) ?(profile_alt = false)
       in
       { key; kind = entry.Workloads.Registry.kind; plan; trace })
 
+let prep t (art : artifact) =
+  memo t t.preps art.key (fun () -> Sim.Engine.prepare art.plan art.trace)
+
 let sim t (art : artifact) ~num_pus ~in_order =
+  let p = prep t art in
   memo t t.sims (art.key, num_pus, in_order) (fun () ->
       let cfg = Sim.Config.default ~num_pus ~in_order in
-      (Sim.Engine.run_with_trace cfg art.plan art.trace).Sim.Engine.stats)
+      (Sim.Engine.run_prepared cfg p art.trace).Sim.Engine.stats)
 
 let builds t =
   Mutex.lock t.mu;

@@ -65,8 +65,14 @@ val get :
     {!Core.Heuristics.default}, [profile_alt] to [false], [variant] to
     {!base_variant}. *)
 
+val prep : t -> artifact -> Sim.Engine.prep
+(** Memoized {!Sim.Engine.prepare} of the artifact — the configuration-
+    independent half of a simulation (task chop, register-communication
+    analyses, layout), shared across every machine configuration swept
+    against the same plan and trace. *)
+
 val sim : t -> artifact -> num_pus:int -> in_order:bool -> Sim.Stats.t
-(** Memoized [Sim.Engine.run_with_trace] over the artifact's plan and trace
+(** Memoized [Sim.Engine.run_prepared] over the artifact's shared prep
     on the {!Sim.Config.default} machine with [num_pus] PUs.  Callers must
     treat the returned statistics as read-only: repeated calls share one
     record. *)

@@ -1,10 +1,13 @@
+(* One domain per recommended core, never more: spawning extra domains on
+   a machine the runtime reports as single-core costs ~2x wall time to
+   minor-GC synchronisation between the oversubscribed domains. *)
 let default_jobs () =
   match Sys.getenv_opt "HARNESS_JOBS" with
   | Some s ->
     (match int_of_string_opt (String.trim s) with
      | Some j when j >= 1 -> j
-     | Some _ | None -> max 2 (Domain.recommended_domain_count ()))
-  | None -> max 2 (Domain.recommended_domain_count ())
+     | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
 
 let map ?jobs f xs =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in

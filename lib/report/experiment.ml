@@ -28,9 +28,10 @@ let run_level_configs ?params ?store ~level ~configs entry =
       let plan = Core.Partition.build ?params level prog in
       let outcome = Interp.Run.execute plan.Core.Partition.prog in
       let trace = outcome.Interp.Run.trace in
+      let prep = Sim.Engine.prepare plan trace in
       fun (num_pus, in_order) ->
         let cfg = Sim.Config.default ~num_pus ~in_order in
-        (Sim.Engine.run_with_trace cfg plan trace).Sim.Engine.stats
+        (Sim.Engine.run_prepared cfg prep trace).Sim.Engine.stats
   in
   List.map
     (fun (num_pus, in_order) ->

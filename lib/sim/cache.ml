@@ -1,54 +1,72 @@
+(* Set-associative cache model, LRU replacement.
+
+   Tags and ages live in two flat arrays indexed [set * ways + way]: a
+   simulation run creates three caches (two L1s and the L2) and probes
+   them once per load and per block fetch, so the per-set subarrays of the
+   obvious representation cost an extra indirection per probe and tens of
+   thousands of small allocations per run. *)
+
 type t = {
   sets : int;
   ways : int;
   block_words : int;
-  (* tags.(set).(way); lru.(set).(way) = age, 0 = most recent *)
-  tags : int array array;
-  lru : int array array;
+  (* tags.(set * ways + way); lru ages, 0 = most recent *)
+  tags : int array;
+  lru : int array;
   mutable accesses : int;
   mutable misses : int;
 }
 
 let create ~sets ~ways ~block_words =
+  let lru = Array.make (sets * ways) 0 in
+  for s = 0 to sets - 1 do
+    for w = 0 to ways - 1 do
+      lru.((s * ways) + w) <- w
+    done
+  done;
   {
     sets;
     ways;
     block_words;
-    tags = Array.init sets (fun _ -> Array.make ways (-1));
-    lru = Array.init sets (fun _ -> Array.init ways (fun w -> w));
+    tags = Array.make (sets * ways) (-1);
+    lru;
     accesses = 0;
     misses = 0;
   }
 
-let touch t set way =
-  let age = t.lru.(set).(way) in
-  for w = 0 to t.ways - 1 do
-    if t.lru.(set).(w) < age then t.lru.(set).(w) <- t.lru.(set).(w) + 1
+let touch t base way =
+  let lru = t.lru in
+  let age = lru.(base + way) in
+  for w = base to base + t.ways - 1 do
+    if lru.(w) < age then lru.(w) <- lru.(w) + 1
   done;
-  t.lru.(set).(way) <- 0
+  lru.(base + way) <- 0
 
 let access t addr =
   t.accesses <- t.accesses + 1;
   let block = addr / t.block_words in
   let set = block mod t.sets in
   let tag = block / t.sets in
+  let base = set * t.ways in
+  let tags = t.tags in
   let found = ref (-1) in
   for w = 0 to t.ways - 1 do
-    if t.tags.(set).(w) = tag then found := w
+    if tags.(base + w) = tag then found := w
   done;
   if !found >= 0 then begin
-    touch t set !found;
+    touch t base !found;
     true
   end
   else begin
     t.misses <- t.misses + 1;
     (* evict LRU way *)
+    let lru = t.lru in
     let victim = ref 0 in
     for w = 0 to t.ways - 1 do
-      if t.lru.(set).(w) > t.lru.(set).(!victim) then victim := w
+      if lru.(base + w) > lru.(base + !victim) then victim := w
     done;
-    t.tags.(set).(!victim) <- tag;
-    touch t set !victim;
+    tags.(base + !victim) <- tag;
+    touch t base !victim;
     false
   end
 

@@ -26,8 +26,21 @@ let chop (trace : Interp.Trace.t) ~(parts : Core.Task.partition array) =
   Array.iteri
     (fun i name -> Hashtbl.replace fid_of_name name i)
     trace.Interp.Trace.fnames;
-  let instances = ref [] in
+  let dummy =
+    { fid = 0; task = 0; first = 0; last = 0; size = 0; ct = 0;
+      kind = Program_end }
+  in
+  let instances = ref (Array.make 256 dummy) in
   let count = ref 0 in
+  let push inst =
+    if !count >= Array.length !instances then begin
+      let bigger = Array.make (2 * Array.length !instances) dummy in
+      Array.blit !instances 0 bigger 0 !count;
+      instances := bigger
+    end;
+    !instances.(!count) <- inst;
+    incr count
+  in
   let i = ref 0 in
   while !i < n do
     let first = !i in
@@ -135,7 +148,7 @@ let chop (trace : Interp.Trace.t) ~(parts : Core.Task.partition array) =
           end
         end
     done;
-    instances :=
+    push
       {
         fid = fid0;
         task = task_idx;
@@ -144,23 +157,10 @@ let chop (trace : Interp.Trace.t) ~(parts : Core.Task.partition array) =
         size = !size;
         ct = !ct;
         kind = !kind;
-      }
-      :: !instances;
-    incr count;
+      };
     i := !j + 1
   done;
-  let arr =
-    Array.make !count
-      { fid = 0; task = 0; first = 0; last = 0; size = 0; ct = 0; kind = Program_end }
-  in
-  let rec fill k = function
-    | [] -> ()
-    | inst :: rest ->
-      arr.(k) <- inst;
-      fill (k - 1) rest
-  in
-  fill (!count - 1) !instances;
-  arr
+  Array.sub !instances 0 !count
 
 let check_instances trace instances =
   let n = Interp.Trace.num_events trace in

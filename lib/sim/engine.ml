@@ -1,3 +1,17 @@
+(* The Multiscalar engine on the event-driven, structure-of-arrays core.
+
+   All cross-task state lives in flat int arrays and occupancy windows
+   (DESIGN.md §10): ring-send times are generation-stamped per-flight
+   register slots, per-flight store maps and the synchronization table are
+   reusable open-addressing int maps with packed keys, and the shared
+   ring / ARB-bank bandwidth is Occ.Slots occupancy rows indexed by
+   absolute cycle.  One Timing.ctx is reused for every attempt of every
+   dynamic task instance, and every in-flight scan is a plain loop over
+   those arrays, so the per-task loop allocates nothing in the steady
+   state.  The schedule is cycle-for-cycle identical to the frozen
+   pre-event core (Sim_ref.Engine_ref), pinned by the qcheck differential
+   in test/test_event_core.ml and the byte-identical report goldens. *)
+
 type result = {
   stats : Stats.t;
   instances : int;
@@ -14,31 +28,101 @@ type event = {
   e_violations : int;
 }
 
-(* per-instance data kept while the instance can still be "in flight" with
-   respect to younger tasks *)
-type flight = {
-  sends : (Ir.Reg.t, int) Hashtbl.t;        (* register -> ring send time *)
-  store_map : (int, int * int) Hashtbl.t;   (* addr -> (time, store site id) *)
+(* Trace-derived state shared by every machine configuration simulated
+   against the same (plan, trace): the task-instance chop, the per-function
+   register-communication analyses and the code layout are configuration-
+   independent, and all are read-only during simulation — compute them once
+   and reuse across the table's machine sweep. *)
+type prep = {
+  p_parts : Core.Task.partition array;
+  p_regcomms : Core.Regcomm.t array;
+  p_instances : Dyntask.instance array;
+  p_layout : Layout.t;
 }
 
-let empty_flight () = { sends = Hashtbl.create 1; store_map = Hashtbl.create 1 }
+let prepare (plan : Core.Partition.plan) (trace : Interp.Trace.t) =
+  let parts =
+    Array.map (fun name -> Ir.Prog.Smap.find name plan.Core.Partition.parts)
+      trace.Interp.Trace.fnames
+  in
+  let regcomms =
+    Array.mapi
+      (fun fid part -> Core.Regcomm.create trace.Interp.Trace.funcs.(fid) part)
+      parts
+  in
+  {
+    p_parts = parts;
+    p_regcomms = regcomms;
+    p_instances = Dyntask.chop trace ~parts;
+    p_layout = Layout.create trace.Interp.Trace.funcs;
+  }
+
+(* store-map values and sync-table keys pack a Layout.site_id into the low
+   bits: value = time lsl site_bits | store_site, key = load_site lsl
+   site_bits | store_site *)
+let site_bits = 30
+let site_mask = (1 lsl site_bits) - 1
 
 let max_violation_retries = 8
 
-let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
-    trace =
+(* Ring-send time of register [r] written at [psite]/[t] by [inst]: at the
+   write itself when the compiler can prove it final (forward bits), at the
+   first executed block past the write from which no rewrite is reachable
+   (per-path release annotation), and failing that at task completion.
+   Top-level — called once per surviving register write; a per-task closure
+   would re-box the task context on every instance. *)
+let send_time_of trace (tctx : Timing.ctx) rc (inst : Dyntask.instance)
+    task_blocks ~complete (r : Ir.Reg.t) t psite =
+  if
+    Timing.site_fid psite <> inst.Dyntask.fid
+    || not (Core.Task.Iset.mem (Timing.site_blk psite) task_blocks)
+  then complete
+  else if
+    Core.Regcomm.forwardable rc ~task:inst.Dyntask.task
+      ~blk:(Timing.site_blk psite) ~idx:(Timing.site_idx psite) ~reg:r
+  then t
+  else begin
+    (* find the event of the writing block, then the first later event
+       whose block can no longer rewrite r *)
+    let n_ev = inst.Dyntask.last - inst.Dyntask.first + 1 in
+    let write_pos = ref (-1) in
+    (let j = ref 0 in
+     while !write_pos = -1 && !j < n_ev do
+       let i = inst.Dyntask.first + !j in
+       if
+         Interp.Trace.get_fid trace i = inst.Dyntask.fid
+         && Interp.Trace.get_blk trace i = Timing.site_blk psite
+       then write_pos := !j;
+       incr j
+     done);
+    if !write_pos = -1 then complete
+    else begin
+      let release = ref complete in
+      (let j = ref (!write_pos + 1) in
+       while !release = complete && !j < n_ev do
+         let i = inst.Dyntask.first + !j in
+         let ev_blk = Interp.Trace.get_blk trace i in
+         if
+           Interp.Trace.get_fid trace i = inst.Dyntask.fid
+           && Core.Task.Iset.mem ev_blk task_blocks
+           && not
+                (Core.Regcomm.may_rewrite rc ~task:inst.Dyntask.task
+                   ~blk:ev_blk ~reg:r)
+         then release := max t tctx.Timing.event_entry.(!j);
+         incr j
+       done);
+      !release
+    end
+  end
+
+let run_prepared ?observer (cfg : Config.t) (prep : prep)
+    (trace : Interp.Trace.t) =
   let fnames = trace.Interp.Trace.fnames in
-  let funcs = trace.Interp.Trace.funcs in
-  let parts =
-    Array.map (fun name -> Ir.Prog.Smap.find name plan.Core.Partition.parts)
-      fnames
-  in
-  let regcomms =
-    Array.mapi (fun fid part -> Core.Regcomm.create funcs.(fid) part) parts
-  in
-  let instances = Dyntask.chop trace ~parts in
+  let parts = prep.p_parts in
+  let regcomms = prep.p_regcomms in
+  let instances = prep.p_instances in
+  let layout = prep.p_layout in
   let k_max = Array.length instances in
-  let layout = Layout.create funcs in
   let hier = Cache.Hierarchy.create cfg in
   let gshare = Predict.Gshare.create cfg in
   let switch_pred = Predict.Target.create cfg in
@@ -48,26 +132,87 @@ let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
   let ras = Predict.Ras.create 64 in
   let stats = Stats.create () in
   let n = cfg.Config.num_pus in
+  let two_n = 2 * n in
   let pu_free = Array.make n 0 in
   let assign = Array.make (max 1 k_max) 0 in
   let retire = Array.make (max 1 k_max) 0 in
   let resolve = Array.make (max 1 k_max) 0 in
-  (* circular buffer: only the last 2N instances can matter to a younger
-     task's timing *)
-  let flights = Array.init (2 * n) (fun _ -> empty_flight ()) in
+  (* circular flight window: only the last 2N instances can matter to a
+     younger task's timing.  A register send of task j lives at
+     send_time.((j mod 2N) * Reg.count + r), valid iff the stamp is j; a
+     slot is reclaimed by restamping, never cleared. *)
+  let send_time = Array.make (two_n * Ir.Reg.count) 0 in
+  let send_stamp = Array.make (two_n * Ir.Reg.count) (-1) in
+  let store_maps = Array.init two_n (fun _ -> Occ.Intmap.create 32) in
   let last_writer_task = Array.make Ir.Reg.count (-1) in
-  let sync_table : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
-  let ring_slots : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  (* (load site, store site) pairs, packed; grows for the whole run *)
+  let sync_table = Occ.Intmap.create 64 in
+  (* per-PU ring injection bandwidth, per-cycle *)
+  let ring_slots = Occ.Slots.create ~rows:n ~hint:4096 in
   (* one access per D-cache/ARB bank per cycle, shared by all PUs *)
-  let bank_slots : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
-  let mem_slot ~addr ~at =
-    let bank = (addr / cfg.Config.l1_block_words) mod cfg.Config.l1_banks in
-    let t = ref at in
-    while Hashtbl.mem bank_slots (bank, !t) do
-      incr t
-    done;
-    Hashtbl.replace bank_slots (bank, !t) ();
-    !t
+  let bank_slots = Occ.Slots.create ~rows:cfg.Config.l1_banks ~hint:4096 in
+  (* per-attempt inputs read by the once-per-run hook closures *)
+  let cur_k = ref 0 in
+  let cur_assign = ref 0 in
+  let in_flight_low = ref 0 in
+  let tctx = Timing.create cfg trace layout in
+  let hooks =
+    {
+      Timing.h_reg_avail =
+        (fun r ->
+          let j = last_writer_task.(r) in
+          if j < 0 || j < !in_flight_low then 0
+          else if retire.(j) <= !cur_assign then 0
+          else begin
+            let s = ((j mod two_n) * Ir.Reg.count) + r in
+            if send_stamp.(s) = j then
+              send_time.(s) + ((!cur_k - j - 1) * cfg.Config.ring_hop)
+            else 0
+          end);
+      h_mem_dep =
+        (fun ~addr ~load_site ->
+          (* youngest older in-flight task writing [addr] — a plain
+             downward scan over the flight window, newest first *)
+          let res = ref (-1) in
+          let j = ref (!cur_k - 1) in
+          let continue_ = ref true in
+          while !continue_ do
+            if !j < !in_flight_low || !j < 0 then continue_ := false
+            else if retire.(!j) <= !cur_assign then decr j
+            else begin
+              let v = Occ.Intmap.find store_maps.(!j mod two_n) addr in
+              if v >= 0 then begin
+                let t = v lsr site_bits in
+                let ssite = v land site_mask in
+                let synced =
+                  Occ.Intmap.mem sync_table
+                    ((load_site lsl site_bits) lor ssite)
+                in
+                res :=
+                  ((t + cfg.Config.arb_hit) lsl 1)
+                  lor (if synced then 1 else 0);
+                continue_ := false
+              end
+              else decr j
+            end
+          done;
+          !res);
+      h_load_lat = (fun ~addr -> Cache.Hierarchy.dload hier addr);
+      h_mem_slot =
+        (fun ~addr ~at ->
+          let bank =
+            (addr / cfg.Config.l1_block_words) mod cfg.Config.l1_banks
+          in
+          Occ.Slots.reserve bank_slots ~row:bank ~cap:1 ~from:at);
+      h_ifetch_extra =
+        (fun ~fid ~blk ->
+          Cache.Hierarchy.ifetch hier (Layout.block_addr layout ~fid ~blk));
+      h_cond_pred =
+        (fun ~pc ~taken -> Predict.Gshare.predict_and_update gshare ~pc ~taken);
+      h_switch_pred =
+        (fun ~pc ~actual ->
+          Predict.Target.predict_and_update switch_pred ~pc ~actual);
+    }
   in
   let entry_uid k =
     let inst = instances.(k) in
@@ -114,10 +259,11 @@ let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
       in
       Predict.Target.predict_and_update task_pred ~pc ~actual
   in
-  let in_flight_range k = max 0 (k - n + 1) in
   for k = 0 to k_max - 1 do
     let inst = instances.(k) in
     let pu = k mod n in
+    cur_k := k;
+    in_flight_low := max 0 (k - n + 1);
     (* cycle accounting: remember when this PU last released a task, before
        any state for task k is updated *)
     let prev_free = pu_free.(pu) in
@@ -141,63 +287,22 @@ let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
       end
       else base_assign
     in
-    (* one simulation attempt from a given assignment time; returns the
-       timing result *)
-    let attempt assign_t ~mem_hold =
-      let send_of j r =
-        if j < in_flight_range k then None
-        else Hashtbl.find_opt flights.(j mod (2 * n)).sends r
-      in
-      let reg_avail r =
-        let j = last_writer_task.(r) in
-        if j < 0 || j < in_flight_range k then 0
-        else if retire.(j) <= assign_t then 0
-        else
-          match send_of j r with
-          | Some s -> s + ((k - j - 1) * cfg.Config.ring_hop)
-          | None -> 0
-      in
-      let mem_dep ~addr ~load_site =
-        let rec scan j =
-          if j < in_flight_range k || j < 0 then None
-          else if retire.(j) <= assign_t then scan (j - 1)
-          else
-            match Hashtbl.find_opt flights.(j mod (2 * n)).store_map addr with
-            | Some (t, store_site) ->
-              Some (t + cfg.Config.arb_hit,
-                    Hashtbl.mem sync_table (load_site, store_site))
-            | None -> scan (j - 1)
-        in
-        scan (k - 1)
-      in
-      let env =
-        {
-          Timing.start_fetch = assign_t + cfg.Config.task_start_overhead;
-          reg_avail;
-          mem_dep;
-          load_lat = (fun ~addr -> Cache.Hierarchy.dload hier addr);
-          mem_slot;
-          ifetch_extra =
-            (fun ~fid ~blk ->
-              Cache.Hierarchy.ifetch hier (Layout.block_addr layout ~fid ~blk));
-          cond_pred =
-            (fun ~pc ~taken -> Predict.Gshare.predict_and_update gshare ~pc ~taken);
-          switch_pred =
-            (fun ~pc ~actual ->
-              Predict.Target.predict_and_update switch_pred ~pc ~actual);
-          mem_hold;
-        }
-      in
-      Timing.run cfg trace layout inst env
-    in
-    (* violation / ARB-overflow loop *)
+    (* violation / ARB-overflow loop; each attempt leaves its schedule in
+       [tctx] *)
     let assign_t = ref a0 in
-    let res = ref (attempt !assign_t ~mem_hold:0) in
+    cur_assign := !assign_t;
+    Timing.exec tctx inst
+      ~start_fetch:(!assign_t + cfg.Config.task_start_overhead)
+      ~mem_hold:0 hooks;
     (* ARB overflow: speculative footprint exceeds the task's ARB share;
        serialise memory operations behind the predecessor's retirement *)
-    if !res.Timing.distinct_addrs > cfg.Config.arb_entries_per_pu && k > 0 then begin
+    if tctx.Timing.distinct_addrs > cfg.Config.arb_entries_per_pu && k > 0
+    then begin
       stats.Stats.arb_overflows <- stats.Stats.arb_overflows + 1;
-      res := attempt !assign_t ~mem_hold:retire.(k - 1)
+      cur_assign := !assign_t;
+      Timing.exec tctx inst
+        ~start_fetch:(!assign_t + cfg.Config.task_start_overhead)
+        ~mem_hold:retire.(k - 1) hooks
     end;
     let retries = ref 0 in
     let violations_here = ref 0 in
@@ -207,161 +312,125 @@ let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
       if !retries < max_violation_retries then begin
         (* detect memory-dependence violations against older in-flight
            stores *)
-        let violation = ref None in
-        List.iter
-          (fun (ld : Timing.mem_op) ->
-            let lsite =
-              Layout.site_id layout ~fid:ld.Timing.m_site.Timing.s_fid
-                ~blk:ld.Timing.m_site.Timing.s_blk ~idx:ld.Timing.m_site.Timing.s_idx
-            in
-            let rec scan j =
-              if j < in_flight_range k || j < 0 then ()
-              else if retire.(j) <= ld.Timing.m_time then ()
-              else
-                match
-                  Hashtbl.find_opt flights.(j mod (2 * n)).store_map
-                    ld.Timing.m_addr
-                with
-                | Some (t, store_site) ->
+        let v_best = ref (-1) in
+        for li = 0 to tctx.Timing.n_loads - 1 do
+          let m_addr = tctx.Timing.l_addr.(li) in
+          let m_time = tctx.Timing.l_time.(li) in
+          let psite = tctx.Timing.l_site.(li) in
+          let lsite =
+            Layout.site_id layout ~fid:(Timing.site_fid psite)
+              ~blk:(Timing.site_blk psite) ~idx:(Timing.site_idx psite)
+          in
+          (* same newest-first scan as h_mem_dep, stopping at the youngest
+             store to the address (or a task already retired by the load) *)
+          let j = ref (k - 1) in
+          let continue_ = ref true in
+          while !continue_ do
+            if !j < !in_flight_low || !j < 0 then continue_ := false
+            else if retire.(!j) <= m_time then continue_ := false
+            else begin
+              let v = Occ.Intmap.find store_maps.(!j mod two_n) m_addr in
+              if v >= 0 then begin
+                let t = v lsr site_bits in
+                let store_site = v land site_mask in
+                let key = (lsite lsl site_bits) lor store_site in
+                if t > m_time && not (Occ.Intmap.mem sync_table key) then begin
+                  let v_time = t + cfg.Config.arb_hit in
                   if
-                    t > ld.Timing.m_time
-                    && not (Hashtbl.mem sync_table (lsite, store_site))
-                  then begin
-                    let v_time = t + cfg.Config.arb_hit in
-                    if Hashtbl.length sync_table < cfg.Config.sync_table_size
-                    then Hashtbl.replace sync_table (lsite, store_site) ();
-                    match !violation with
-                    | Some (best, _) when best <= v_time -> ()
-                    | Some _ | None -> violation := Some (v_time, lsite)
-                  end
-                | None -> scan (j - 1)
-            in
-            scan (k - 1))
-          !res.Timing.loads;
-        match !violation with
-        | Some (v_time, _) ->
+                    Occ.Intmap.cardinal sync_table
+                    < cfg.Config.sync_table_size
+                  then Occ.Intmap.set sync_table key 1;
+                  if !v_best < 0 || v_time < !v_best then v_best := v_time
+                end;
+                continue_ := false
+              end
+              else decr j
+            end
+          done
+        done;
+        if !v_best >= 0 then begin
+          let v_time = !v_best in
           incr violations_here;
           stats.Stats.violations <- stats.Stats.violations + 1;
           stats.Stats.mem_penalty <-
             stats.Stats.mem_penalty + max 0 (v_time - !assign_t);
           assign_t := max !assign_t v_time + 1;
           incr retries;
-          res := attempt !assign_t ~mem_hold:0;
+          cur_assign := !assign_t;
+          Timing.exec tctx inst
+            ~start_fetch:(!assign_t + cfg.Config.task_start_overhead)
+            ~mem_hold:0 hooks;
           stable := false
-        | None -> ()
+        end
       end
     done;
-    let res = !res in
     assign.(k) <- !assign_t;
-    resolve.(k) <- res.Timing.resolve;
-    let complete = res.Timing.complete in
+    resolve.(k) <- tctx.Timing.resolve;
+    let complete = tctx.Timing.complete in
     retire.(k) <-
       (if k = 0 then complete else max complete (retire.(k - 1) + 1));
     pu_free.(pu) <- retire.(k) + cfg.Config.task_end_overhead;
-    (* register the task's outgoing values on the ring.  A value goes out
-       when the compiler can prove it final: at the write itself when no
-       later task block may rewrite it, otherwise at the first executed
-       block past the write from which no rewrite is reachable (the per-path
-       release annotation), and failing that at task completion. *)
-    let flight = empty_flight () in
+    (* register the task's outgoing values on the ring, per-register in
+       descending register order — the order of the old reg_writes list —
+       because ring-slot contention makes registration order visible to
+       send times *)
     let rc = regcomms.(inst.Dyntask.fid) in
     let task_blocks =
       parts.(inst.Dyntask.fid).Core.Task.tasks.(inst.Dyntask.task)
         .Core.Task.blocks
     in
-    let send_time_of (r : Ir.Reg.t) t (site : Timing.site) =
-      if site.Timing.s_fid <> inst.Dyntask.fid
-         || not (Core.Task.Iset.mem site.Timing.s_blk task_blocks)
-      then complete
-      else if
-        Core.Regcomm.forwardable rc ~task:inst.Dyntask.task
-          ~blk:site.Timing.s_blk ~idx:site.Timing.s_idx ~reg:r
-      then t
-      else begin
-        (* find the event of the writing block, then the first later event
-           whose block can no longer rewrite r *)
-        let n_ev = inst.Dyntask.last - inst.Dyntask.first + 1 in
-        let write_pos = ref (-1) in
-        (let j = ref 0 in
-         while !write_pos = -1 && !j < n_ev do
-           let i = inst.Dyntask.first + !j in
-           if
-             Interp.Trace.get_fid trace i = inst.Dyntask.fid
-             && Interp.Trace.get_blk trace i = site.Timing.s_blk
-           then write_pos := !j;
-           incr j
-         done);
-        if !write_pos = -1 then complete
-        else begin
-          let release = ref complete in
-          (let j = ref (!write_pos + 1) in
-           while !release = complete && !j < n_ev do
-             let i = inst.Dyntask.first + !j in
-             let ev_blk = Interp.Trace.get_blk trace i in
-             if
-               Interp.Trace.get_fid trace i = inst.Dyntask.fid
-               && Core.Task.Iset.mem ev_blk task_blocks
-               && not
-                    (Core.Regcomm.may_rewrite rc ~task:inst.Dyntask.task
-                       ~blk:ev_blk ~reg:r)
-             then release := max t res.Timing.event_entry.(!j);
-             incr j
-           done);
-          !release
-        end
-      end
-    in
-    List.iter
-      (fun (r, t, (site : Timing.site)) ->
+    let slot_base = k mod two_n * Ir.Reg.count in
+    for r = Ir.Reg.count - 1 downto 0 do
+      let t = tctx.Timing.local_time.(r) in
+      if t >= 0 then
         (* dead-register analysis: values no successor can read before
            rewriting are never put on the ring *)
         if Core.Regcomm.needed rc ~task:inst.Dyntask.task ~reg:r then begin
-          let desired = send_time_of r t site in
-          (* ring bandwidth: this PU can inject ring_bandwidth values/cycle *)
-          let cycle = ref desired in
-          let count c =
-            match Hashtbl.find_opt ring_slots (pu, c) with
-            | Some x -> x
-            | None -> 0
+          let desired =
+            send_time_of trace tctx rc inst task_blocks ~complete r t
+              tctx.Timing.local_site.(r)
           in
-          while count !cycle >= cfg.Config.ring_bandwidth do
-            incr cycle
-          done;
-          Hashtbl.replace ring_slots (pu, !cycle) (count !cycle + 1);
-          Hashtbl.replace flight.sends r !cycle;
+          (* ring bandwidth: this PU can inject ring_bandwidth values/cycle *)
+          let cycle =
+            Occ.Slots.reserve ring_slots ~row:pu
+              ~cap:cfg.Config.ring_bandwidth ~from:desired
+          in
+          send_time.(slot_base + r) <- cycle;
+          send_stamp.(slot_base + r) <- k;
           stats.Stats.ring_sends <- stats.Stats.ring_sends + 1;
           last_writer_task.(r) <- k
-        end)
-      res.Timing.reg_writes;
-    List.iter
-      (fun (st : Timing.mem_op) ->
-        let ssite =
-          Layout.site_id layout ~fid:st.Timing.m_site.Timing.s_fid
-            ~blk:st.Timing.m_site.Timing.s_blk ~idx:st.Timing.m_site.Timing.s_idx
-        in
-        Hashtbl.replace flight.store_map st.Timing.m_addr
-          (st.Timing.m_time, ssite))
-      res.Timing.stores;
-    flights.(k mod (2 * n)) <- flight;
+        end
+    done;
+    let smap = store_maps.(k mod two_n) in
+    Occ.Intmap.clear smap;
+    for si = 0 to tctx.Timing.n_stores - 1 do
+      let psite = tctx.Timing.s_site.(si) in
+      let ssite =
+        Layout.site_id layout ~fid:(Timing.site_fid psite)
+          ~blk:(Timing.site_blk psite) ~idx:(Timing.site_idx psite)
+      in
+      Occ.Intmap.set smap tctx.Timing.s_addr.(si)
+        ((tctx.Timing.s_time.(si) lsl site_bits) lor ssite)
+    done;
     (* statistics *)
     stats.Stats.tasks <- stats.Stats.tasks + 1;
     stats.Stats.dyn_insns <- stats.Stats.dyn_insns + inst.Dyntask.size;
     stats.Stats.ct_insns <- stats.Stats.ct_insns + inst.Dyntask.ct;
     stats.Stats.intra_branches <-
-      stats.Stats.intra_branches + res.Timing.intra_branches;
+      stats.Stats.intra_branches + tctx.Timing.intra_branches;
     stats.Stats.intra_branch_mispredicts <-
-      stats.Stats.intra_branch_mispredicts + res.Timing.intra_mispredicts;
+      stats.Stats.intra_branch_mispredicts + tctx.Timing.intra_mispredicts;
     stats.Stats.start_overhead <-
       stats.Stats.start_overhead + cfg.Config.task_start_overhead;
     stats.Stats.end_overhead <-
       stats.Stats.end_overhead + cfg.Config.task_end_overhead;
     stats.Stats.inter_task_comm <-
-      stats.Stats.inter_task_comm + res.Timing.inter_wait;
+      stats.Stats.inter_task_comm + tctx.Timing.inter_wait;
     stats.Stats.intra_task_dep <-
-      stats.Stats.intra_task_dep + res.Timing.intra_wait;
+      stats.Stats.intra_task_dep + tctx.Timing.intra_wait;
     stats.Stats.load_imbalance <-
       stats.Stats.load_imbalance + max 0 (retire.(k) - complete);
-    stats.Stats.syncs <- stats.Stats.syncs + res.Timing.sync_waits;
+    stats.Stats.syncs <- stats.Stats.syncs + tctx.Timing.sync_waits;
     (* cycle accounting: partition this PU's timeline from its previous
        release [prev_free] to this task's release [retire + end_overhead]
        into disjoint, non-negative segments.  Per PU the segments telescope,
@@ -373,7 +442,7 @@ let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
     Account.add acct Account.Mem_squash (!assign_t - a0);
     Account.add acct Account.Overhead
       (cfg.Config.task_start_overhead + cfg.Config.task_end_overhead);
-    Timing.attribute res
+    Timing.attribute_ctx tctx
       ~start_fetch:(!assign_t + cfg.Config.task_start_overhead) acct;
     Account.add acct Account.Load_imbalance (retire.(k) - complete);
     (match observer with
@@ -392,7 +461,7 @@ let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
     | None -> ());
     (* window-span sample: dynamic instructions in flight at assignment *)
     let span = ref inst.Dyntask.size in
-    for j = in_flight_range k to k - 1 do
+    for j = !in_flight_low to k - 1 do
       if retire.(j) > !assign_t then span := !span + instances.(j).Dyntask.size
     done;
     stats.Stats.window_span_total <- stats.Stats.window_span_total + !span;
@@ -420,6 +489,9 @@ let run_with_trace ?observer (cfg : Config.t) (plan : Core.Partition.plan)
   stats.Stats.l2_accesses <- Cache.accesses (Cache.Hierarchy.l2 hier);
   stats.Stats.l2_misses <- Cache.misses (Cache.Hierarchy.l2 hier);
   { stats; instances = k_max }
+
+let run_with_trace ?observer cfg plan trace =
+  run_prepared ?observer cfg (prepare plan trace) trace
 
 let run ?observer cfg plan =
   let outcome = Interp.Run.execute plan.Core.Partition.prog in

@@ -39,3 +39,22 @@ val run_with_trace :
   Interp.Trace.t -> result
 (** Reuse an existing trace of [plan.prog] (e.g. across PU counts and issue
     disciplines of the same heuristic level). *)
+
+(** {2 Shared trace preparation}
+
+    Chopping the trace into task instances, the per-function register
+    communication analyses and the code layout depend only on the
+    (plan, trace) pair, not on the machine configuration.  When sweeping
+    configurations against one trace (table 1, figure 5), [prepare] once
+    and pass the result to each [run_prepared] call. *)
+
+type prep
+
+val prepare : Core.Partition.plan -> Interp.Trace.t -> prep
+(** Configuration-independent simulation state; read-only afterwards, so a
+    prep may be shared freely across domains. *)
+
+val run_prepared :
+  ?observer:(event -> unit) -> Config.t -> prep -> Interp.Trace.t -> result
+(** [run_with_trace] minus the per-call re-preparation; [trace] must be the
+    trace [prep] was built from. *)

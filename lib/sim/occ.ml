@@ -1,0 +1,161 @@
+(* Flat occupancy structures for the event-driven simulator core.
+
+   The engine's resource model is "reserve the earliest free slot at or
+   after cycle [t]": D-cache/ARB bank ports, ring injection bandwidth,
+   issue and commit bandwidth.  The pre-event core kept these as
+   tuple-keyed hashtables ((bank, cycle) -> unit), paying an allocation
+   and a polymorphic hash per probe and advancing cycle by cycle.  Here a
+   resource is a row of byte counts indexed by ABSOLUTE cycle: probing is
+   one unsafe byte read, and finding the next free slot skips over a fully
+   booked region in a tight scan instead of re-hashing each cycle.  Rows
+   grow geometrically in the time dimension and are never cleared — a
+   reservation, once made, stays, exactly like the hashtable entries it
+   replaces (including reservations made by simulation attempts that were
+   later squashed; see DESIGN.md §10).
+
+   [Intmap] is the companion scratch map: open-addressing int -> int with
+   O(1) whole-map invalidation by generation stamp, so the per-task /
+   per-flight maps of the old core (local store forwarding, ARB
+   footprints, per-flight store maps) become steady-state-allocation-free
+   reusable buffers. *)
+
+module Slots = struct
+  type t = {
+    mutable rows : Bytes.t array;
+    mutable cap : int;  (* time capacity of every row, in cycles *)
+  }
+
+  let create ~rows ~hint =
+    let hint = max 64 hint in
+    { rows = Array.init rows (fun _ -> Bytes.make hint '\000'); cap = hint }
+
+  let ensure t time =
+    if time >= t.cap then begin
+      let ncap = max (2 * t.cap) (time + 1) in
+      t.rows <-
+        Array.map
+          (fun b ->
+            let nb = Bytes.make ncap '\000' in
+            Bytes.blit b 0 nb 0 t.cap;
+            nb)
+          t.rows;
+      t.cap <- ncap
+    end
+
+  let count t ~row time =
+    if time >= t.cap then 0
+    else Char.code (Bytes.unsafe_get t.rows.(row) time)
+
+  let take t ~row time =
+    ensure t time;
+    let b = t.rows.(row) in
+    Bytes.unsafe_set b time (Char.unsafe_chr (Char.code (Bytes.unsafe_get b time) + 1))
+
+  (* earliest cycle >= [from] whose count is below [cap] — the next free
+     event on this resource; everything in between is fully booked and is
+     jumped over without per-cycle bookkeeping *)
+  let find_free t ~row ~cap ~from =
+    if from >= t.cap then from
+    else begin
+      let b = t.rows.(row) in
+      let limit = t.cap in
+      let c = ref from in
+      while !c < limit && Char.code (Bytes.unsafe_get b !c) >= cap do incr c done;
+      !c
+    end
+
+  (* find_free + take in one step *)
+  let reserve t ~row ~cap ~from =
+    let c = find_free t ~row ~cap ~from in
+    take t ~row c;
+    c
+end
+
+module Intmap = struct
+  type t = {
+    mutable keys : int array;
+    mutable vals : int array;
+    mutable stamps : int array;  (* slot live iff stamps.(i) = gen *)
+    mutable mask : int;
+    mutable gen : int;
+    mutable card : int;
+  }
+
+  let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+  let create hint =
+    let cap = pow2 (max 16 (2 * hint)) 16 in
+    {
+      keys = Array.make cap 0;
+      vals = Array.make cap 0;
+      stamps = Array.make cap 0;
+      mask = cap - 1;
+      gen = 1;
+      card = 0;
+    }
+
+  let clear t =
+    t.gen <- t.gen + 1;
+    t.card <- 0
+
+  let cardinal t = t.card
+
+  let hash k = (k * 0x2545F4914F6CDD1D) land max_int
+
+  (* value for [key], or -1 when absent; stored values must be >= 0 *)
+  let find t key =
+    let mask = t.mask in
+    let i = ref (hash key land mask) in
+    let r = ref (-2) in
+    while !r = -2 do
+      if t.stamps.(!i) <> t.gen then r := -1
+      else if t.keys.(!i) = key then r := t.vals.(!i)
+      else i := (!i + 1) land mask
+    done;
+    !r
+
+  let mem t key = find t key >= 0
+
+  let rec set t key v =
+    let mask = t.mask in
+    let i = ref (hash key land mask) in
+    let placed = ref false in
+    let done_ = ref false in
+    while not !done_ do
+      if t.stamps.(!i) <> t.gen then begin
+        (* fresh slot *)
+        t.keys.(!i) <- key;
+        t.vals.(!i) <- v;
+        t.stamps.(!i) <- t.gen;
+        t.card <- t.card + 1;
+        placed := true;
+        done_ := true
+      end
+      else if t.keys.(!i) = key then begin
+        t.vals.(!i) <- v;
+        done_ := true
+      end
+      else i := (!i + 1) land mask
+    done;
+    if !placed && 2 * t.card > mask then grow t
+
+  and grow t =
+    let old_keys = t.keys and old_vals = t.vals and old_stamps = t.stamps in
+    let old_gen = t.gen in
+    let ncap = 2 * (t.mask + 1) in
+    t.keys <- Array.make ncap 0;
+    t.vals <- Array.make ncap 0;
+    t.stamps <- Array.make ncap 0;
+    t.mask <- ncap - 1;
+    t.gen <- 1;
+    t.card <- 0;
+    Array.iteri
+      (fun i s -> if s = old_gen then set t old_keys.(i) old_vals.(i))
+      old_stamps
+
+  (* iterate live (key, value) pairs, unspecified order *)
+  let iter t f =
+    for i = 0 to t.mask do
+      if t.stamps.(i) = t.gen then f t.keys.(i) t.vals.(i)
+    done
+end

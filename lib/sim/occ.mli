@@ -1,0 +1,57 @@
+(** Flat occupancy windows and generation-stamped scratch maps — the data
+    layer of the event-driven simulator core (DESIGN.md §10).
+
+    A {!Slots.t} models a banked resource with a per-cycle capacity (ARB
+    bank ports, ring injection slots, issue/commit bandwidth) as rows of
+    byte counts indexed by absolute cycle.  Probes are O(1) byte reads and
+    {!Slots.find_free} jumps over fully booked regions in one scan — the
+    event-queue replacement for the old per-cycle [Hashtbl.mem] loops.
+    Reservations persist for the whole run, exactly like the hashtable
+    entries they replace.
+
+    An {!Intmap.t} is an open-addressing [int -> int] map whose {!Intmap.clear}
+    is O(1) (generation bump), so per-task and per-flight scratch maps can
+    be reused without allocating or rehashing in the steady state. *)
+
+module Slots : sig
+  type t
+
+  val create : rows:int -> hint:int -> t
+  (** [rows] resources, each with an initial time capacity of [hint]
+      cycles (grown geometrically on demand). *)
+
+  val count : t -> row:int -> int -> int
+  (** Reservations currently held at (row, cycle); 0 beyond capacity. *)
+
+  val take : t -> row:int -> int -> unit
+  (** Add one reservation at (row, cycle), growing if needed. *)
+
+  val find_free : t -> row:int -> cap:int -> from:int -> int
+  (** Earliest cycle [>= from] with fewer than [cap] reservations. *)
+
+  val reserve : t -> row:int -> cap:int -> from:int -> int
+  (** [find_free] then [take]; returns the reserved cycle. *)
+end
+
+module Intmap : sig
+  type t
+
+  val create : int -> t
+  (** Capacity hint (entries); the table grows past it on demand. *)
+
+  val clear : t -> unit
+  (** O(1): invalidates every entry by bumping the generation. *)
+
+  val cardinal : t -> int
+
+  val find : t -> int -> int
+  (** Value for the key, or [-1] when absent.  Stored values must be
+      non-negative. *)
+
+  val mem : t -> int -> bool
+
+  val set : t -> int -> int -> unit
+  (** Insert or replace.  The value must be non-negative. *)
+
+  val iter : t -> (int -> int -> unit) -> unit
+end

@@ -28,17 +28,14 @@ module Gshare = struct
 end
 
 module Target = struct
-  type entry = {
-    mutable counter : int;  (* 2-bit confidence *)
-    mutable target : int;   (* 2-bit target number *)
-  }
-
   type t = {
     mask : int;
     hist_mask : int;
     use_history : bool;
     mutable hist : int;
-    table : entry array;
+    (* packed entries: counter lsl 2 | target (2-bit confidence, 2-bit
+       target number) — one flat int array instead of a record per slot *)
+    table : int array;
   }
 
   let create ?(use_history = true) (cfg : Config.t) =
@@ -47,9 +44,7 @@ module Target = struct
       hist_mask = (1 lsl cfg.Config.predictor_bits) - 1;
       use_history;
       hist = 0;
-      table =
-        Array.init cfg.Config.predictor_entries (fun _ ->
-            { counter = 0; target = 0 });
+      table = Array.make cfg.Config.predictor_entries 0;
     }
 
   let predict_and_update t ~pc ~actual =
@@ -57,10 +52,12 @@ module Target = struct
       (if t.use_history then mix pc lxor t.hist else mix pc) land t.mask
     in
     let e = t.table.(idx) in
-    let correct = e.target = actual land 3 && actual < 4 in
-    if e.target = actual land 3 then e.counter <- min 3 (e.counter + 1)
-    else if e.counter > 0 then e.counter <- e.counter - 1
-    else e.target <- actual land 3;
+    let counter = e lsr 2 and target = e land 3 in
+    let correct = target = actual land 3 && actual < 4 in
+    (if target = actual land 3 then
+       t.table.(idx) <- (min 3 (counter + 1) lsl 2) lor target
+     else if counter > 0 then t.table.(idx) <- ((counter - 1) lsl 2) lor target
+     else t.table.(idx) <- actual land 3);
     (* path history: fold the chosen target and the task pc in *)
     t.hist <- ((t.hist lsl 2) lxor mix pc lxor actual) land t.hist_mask;
     correct

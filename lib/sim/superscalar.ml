@@ -1,11 +1,25 @@
+(* Reference superscalar machine on the flat-array core: one pass over the
+   whole trace, so issue/commit bandwidth are plain cycle-indexed count
+   arrays (no generations needed), store-to-load forwarding is an
+   Occ.Intmap, and operand registers are extracted inline instead of
+   allocating Ir.Insn.uses/defs lists per dynamic instruction.  Operand
+   readiness is a plain max over register times here, so neither use order
+   nor deduplication is observable — the schedule is identical to the
+   pre-event core's. *)
+
 type result = {
   stats : Stats.t;
   avg_window : float;
 }
 
-type pool = { units : int array }
-
-let make_pool n = { units = Array.make n 0 }
+let grow_int_array a n =
+  let len = Array.length a in
+  if n <= len then a
+  else begin
+    let b = Array.make (max (2 * len) n) 0 in
+    Array.blit a 0 b 0 len;
+    b
+  end
 
 let run (cfg : Config.t) (trace : Interp.Trace.t) =
   let n_events = Interp.Trace.num_events trace in
@@ -14,34 +28,37 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) =
   let gshare = Predict.Gshare.create cfg in
   let switch_pred = Predict.Target.create cfg in
   let stats = Stats.create () in
-  let pool_int = make_pool cfg.Config.fu_int in
-  let pool_fp = make_pool cfg.Config.fu_fp in
-  let pool_mem = make_pool cfg.Config.fu_mem in
-  let pool_branch = make_pool cfg.Config.fu_branch in
-  let issue_slots : (int, int) Hashtbl.t = Hashtbl.create 1024 in
-  let commit_slots : (int, int) Hashtbl.t = Hashtbl.create 1024 in
-  let slot_count tbl t =
-    match Hashtbl.find_opt tbl t with Some c -> c | None -> 0
+  let units_int = Array.make cfg.Config.fu_int 0 in
+  let units_fp = Array.make cfg.Config.fu_fp 0 in
+  let units_mem = Array.make cfg.Config.fu_mem 0 in
+  let units_branch = Array.make cfg.Config.fu_branch 0 in
+  let issue_slots = ref (Array.make 65536 0) in
+  let commit_slots = ref (Array.make 65536 0) in
+  let slot_count a t = if t >= Array.length a then 0 else Array.unsafe_get a t in
+  let take_slot slots t =
+    if t >= Array.length !slots then slots := grow_int_array !slots (t + 1);
+    let a = !slots in
+    Array.unsafe_set a t (Array.unsafe_get a t + 1)
   in
-  let take_slot tbl t = Hashtbl.replace tbl t (slot_count tbl t + 1) in
-  let find_issue cand pool ~init =
+  let issue_width = cfg.Config.issue_width in
+  let find_issue cand (units : int array) ~init =
     let t = ref cand in
     let chosen = ref (-1) in
     let continue_ = ref true in
     while !continue_ do
       let best = ref 0 in
-      for u = 1 to Array.length pool.units - 1 do
-        if pool.units.(u) < pool.units.(!best) then best := u
+      for u = 1 to Array.length units - 1 do
+        if units.(u) < units.(!best) then best := u
       done;
-      if pool.units.(!best) > !t then t := pool.units.(!best)
-      else if slot_count issue_slots !t >= cfg.Config.issue_width then incr t
+      if units.(!best) > !t then t := units.(!best)
+      else if slot_count !issue_slots !t >= issue_width then incr t
       else begin
         chosen := !best;
         continue_ := false
       end
     done;
     take_slot issue_slots !t;
-    pool.units.(!chosen) <- !t + init;
+    units.(!chosen) <- !t + init;
     !t
   in
   let rob = Array.make cfg.Config.rob_size 0 in
@@ -50,7 +67,7 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) =
   let fetch_time = ref 0 in
   let fetch_in_cycle = ref 0 in
   let next_fetch () =
-    if !fetch_in_cycle >= cfg.Config.issue_width then begin
+    if !fetch_in_cycle >= issue_width then begin
       incr fetch_time;
       fetch_in_cycle := 0
     end;
@@ -64,60 +81,61 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) =
     end
   in
   let reg_time = Array.make Ir.Reg.count 0 in
-  let store_time : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let store_time = Occ.Intmap.create 1024 in
   let last_commit = ref 0 in
   let last_issue = ref 0 in
   (* window-occupancy accounting: sum over instructions of time in flight *)
   let occupancy = ref 0 in
-  let sched ~fu ~latency ~init ~uses ~defs ~mem =
+  let in_order = cfg.Config.in_order in
+  let front_depth = cfg.Config.front_depth in
+  let rob_size = cfg.Config.rob_size in
+  let iq_size = cfg.Config.iq_size in
+  (* [u1..u3]: use registers (-1 = none); [def]: written register (-1 =
+     none); [mem_kind]: 0 none, 1 load, 2 store *)
+  let sched ~units ~latency ~init ~u1 ~u2 ~u3 ~def ~mem_addr ~mem_kind =
     let i = !insn_counter in
     incr insn_counter;
     let fetch_t = next_fetch () in
-    let disp_t = ref (fetch_t + cfg.Config.front_depth) in
-    if i >= cfg.Config.rob_size then
-      disp_t := max !disp_t rob.(i mod cfg.Config.rob_size);
-    if i >= cfg.Config.iq_size then
-      disp_t := max !disp_t iq.(i mod cfg.Config.iq_size);
+    let disp_t = ref (fetch_t + front_depth) in
+    if i >= rob_size then disp_t := max !disp_t rob.(i mod rob_size);
+    if i >= iq_size then disp_t := max !disp_t iq.(i mod iq_size);
+    (* inlined use checks — a helper closure would heap-allocate [ready] *)
     let ready = ref 0 in
-    List.iter
-      (fun r -> if r <> Ir.Reg.zero && reg_time.(r) > !ready then ready := reg_time.(r))
-      uses;
-    let is_load = ref false in
-    let load_addr = ref 0 in
-    (match mem with
-    | Some (addr, true) ->
-      is_load := true;
-      load_addr := addr;
-      (match Hashtbl.find_opt store_time addr with
-      | Some t -> if t > !ready then ready := t
-      | None -> ())
-    | Some (_, false) | None -> ());
-    let base = if cfg.Config.in_order then max !disp_t !last_issue else !disp_t in
+    if u1 >= 0 && u1 <> Ir.Reg.zero && reg_time.(u1) > !ready then
+      ready := reg_time.(u1);
+    if u2 >= 0 && u2 <> Ir.Reg.zero && reg_time.(u2) > !ready then
+      ready := reg_time.(u2);
+    if u3 >= 0 && u3 <> Ir.Reg.zero && reg_time.(u3) > !ready then
+      ready := reg_time.(u3);
+    if mem_kind = 1 then begin
+      let t = Occ.Intmap.find store_time mem_addr in
+      if t > !ready then ready := t
+    end;
+    let base = if in_order then max !disp_t !last_issue else !disp_t in
     let cand = max base !ready in
-    let issue_t = find_issue cand fu ~init in
+    let issue_t = find_issue cand units ~init in
     last_issue := max !last_issue issue_t;
     let lat =
-      if !is_load then Cache.Hierarchy.dload hier !load_addr else latency
+      if mem_kind = 1 then Cache.Hierarchy.dload hier mem_addr else latency
     in
     let complete_t = issue_t + lat in
-    (match mem with
-    | Some (addr, false) -> Hashtbl.replace store_time addr (issue_t + 1)
-    | Some (_, true) | None -> ());
+    if mem_kind = 2 then Occ.Intmap.set store_time mem_addr (issue_t + 1);
     let c = ref (max complete_t !last_commit) in
-    while slot_count commit_slots !c >= cfg.Config.issue_width do
-      incr c
-    done;
+    while slot_count !commit_slots !c >= issue_width do incr c done;
     take_slot commit_slots !c;
     last_commit := !c;
-    rob.(i mod cfg.Config.rob_size) <- !c;
-    iq.(i mod cfg.Config.iq_size) <- issue_t;
+    rob.(i mod rob_size) <- !c;
+    iq.(i mod iq_size) <- issue_t;
     (* window residency: from ROB entry (dispatch) to commit *)
     occupancy := !occupancy + (!c - !disp_t);
-    List.iter
-      (fun d -> if d <> Ir.Reg.zero then reg_time.(d) <- complete_t)
-      defs;
+    if def >= 0 && def <> Ir.Reg.zero then reg_time.(def) <- complete_t;
     complete_t
   in
+  let lat_int = cfg.Config.lat_int in
+  let lat_int_mul = cfg.Config.lat_int_mul in
+  let lat_int_div = cfg.Config.lat_int_div in
+  let lat_fp = cfg.Config.lat_fp in
+  let lat_fp_div = cfg.Config.lat_fp_div in
   for j = 0 to n_events - 1 do
     let fid = Interp.Trace.get_fid trace j in
     let blkl = Interp.Trace.get_blk trace j in
@@ -131,40 +149,80 @@ let run (cfg : Config.t) (trace : Interp.Trace.t) =
     end;
     let addr_base = Interp.Trace.addr_offset trace j in
     let next_addr = ref 0 in
-    Array.iter
-      (fun insn ->
-        let fu, latency, init =
-          match Ir.Insn.fu_class insn with
-          | Ir.Insn.Fu_int -> (pool_int, cfg.Config.lat_int, 1)
-          | Ir.Insn.Fu_int_mul -> (pool_int, cfg.Config.lat_int_mul, 1)
-          | Ir.Insn.Fu_int_div ->
-            (pool_int, cfg.Config.lat_int_div, cfg.Config.lat_int_div)
-          | Ir.Insn.Fu_fp -> (pool_fp, cfg.Config.lat_fp, 1)
-          | Ir.Insn.Fu_fp_div ->
-            (pool_fp, cfg.Config.lat_fp_div, cfg.Config.lat_fp_div)
-          | Ir.Insn.Fu_load | Ir.Insn.Fu_store -> (pool_mem, 1, 1)
+    let insns = blk.Ir.Block.insns in
+    for idx = 0 to Array.length insns - 1 do
+      let insn = Array.unsafe_get insns idx in
+      match insn with
+      | Ir.Insn.Nop ->
+        ignore
+          (sched ~units:units_int ~latency:lat_int ~init:1 ~u1:(-1) ~u2:(-1)
+             ~u3:(-1) ~def:(-1) ~mem_addr:0 ~mem_kind:0)
+      | Ir.Insn.Li (d, _) | Ir.Insn.Lf (d, _) ->
+        ignore
+          (sched ~units:units_int ~latency:lat_int ~init:1 ~u1:(-1) ~u2:(-1)
+             ~u3:(-1) ~def:d ~mem_addr:0 ~mem_kind:0)
+      | Ir.Insn.Mov (d, s) ->
+        ignore
+          (sched ~units:units_int ~latency:lat_int ~init:1 ~u1:s ~u2:(-1)
+             ~u3:(-1) ~def:d ~mem_addr:0 ~mem_kind:0)
+      | Ir.Insn.Bin (op, d, s, operand) ->
+        let latency, init =
+          match op with
+          | Ir.Insn.Mul -> (lat_int_mul, 1)
+          | Ir.Insn.Div | Ir.Insn.Rem -> (lat_int_div, lat_int_div)
+          | _ -> (lat_int, 1)
         in
-        let mem =
-          if Ir.Insn.is_mem insn then begin
-            let addr = Interp.Trace.addr_at trace (addr_base + !next_addr) in
-            incr next_addr;
-            match insn with
-            | Ir.Insn.Load (_, _, _) -> Some (addr, true)
-            | _ -> Some (addr, false)
-          end
-          else None
+        let u2 = match operand with Ir.Insn.Reg s2 -> s2 | Ir.Insn.Imm _ -> -1 in
+        ignore
+          (sched ~units:units_int ~latency ~init ~u1:s ~u2 ~u3:(-1) ~def:d
+             ~mem_addr:0 ~mem_kind:0)
+      | Ir.Insn.Fbin (op, d, s1, s2) ->
+        let latency, init =
+          match op with
+          | Ir.Insn.Fdiv -> (lat_fp_div, lat_fp_div)
+          | _ -> (lat_fp, 1)
         in
         ignore
-          (sched ~fu ~latency ~init ~uses:(Ir.Insn.uses insn)
-             ~defs:(Ir.Insn.defs insn) ~mem))
-      blk.Ir.Block.insns;
-    let uses =
+          (sched ~units:units_fp ~latency ~init ~u1:s1 ~u2:s2 ~u3:(-1) ~def:d
+             ~mem_addr:0 ~mem_kind:0)
+      | Ir.Insn.Fcmp (_, d, s1, s2) ->
+        ignore
+          (sched ~units:units_fp ~latency:lat_fp ~init:1 ~u1:s1 ~u2:s2
+             ~u3:(-1) ~def:d ~mem_addr:0 ~mem_kind:0)
+      | Ir.Insn.Fun (op, d, s) ->
+        let latency, init =
+          match op with
+          | Ir.Insn.Fsqrt -> (lat_fp_div, lat_fp_div)
+          | _ -> (lat_fp, 1)
+        in
+        ignore
+          (sched ~units:units_fp ~latency ~init ~u1:s ~u2:(-1) ~u3:(-1)
+             ~def:d ~mem_addr:0 ~mem_kind:0)
+      | Ir.Insn.Load (d, base, _) ->
+        let a = Interp.Trace.addr_at trace (addr_base + !next_addr) in
+        incr next_addr;
+        ignore
+          (sched ~units:units_mem ~latency:1 ~init:1 ~u1:base ~u2:(-1)
+             ~u3:(-1) ~def:d ~mem_addr:a ~mem_kind:1)
+      | Ir.Insn.Store (src, base, _) ->
+        let a = Interp.Trace.addr_at trace (addr_base + !next_addr) in
+        incr next_addr;
+        ignore
+          (sched ~units:units_mem ~latency:1 ~init:1 ~u1:src ~u2:base
+             ~u3:(-1) ~def:(-1) ~mem_addr:a ~mem_kind:2)
+      | Ir.Insn.Cmov (d, c, s) ->
+        ignore
+          (sched ~units:units_int ~latency:lat_int ~init:1 ~u1:d ~u2:c ~u3:s
+             ~def:d ~mem_addr:0 ~mem_kind:0)
+    done;
+    let cond =
       match blk.Ir.Block.term with
-      | Ir.Block.Call (_, _) -> []
-      | t -> Analysis.Dataflow.term_uses t
+      | Ir.Block.Br (c, _, _) | Ir.Block.Switch (c, _, _) -> c
+      | Ir.Block.Jump _ | Ir.Block.Call _ | Ir.Block.Ret | Ir.Block.Halt -> -1
     in
     let t_complete =
-      sched ~fu:pool_branch ~latency:1 ~init:1 ~uses ~defs:[] ~mem:None
+      sched ~units:units_branch ~latency:1 ~init:1 ~u1:cond ~u2:(-1) ~u3:(-1)
+        ~def:(-1) ~mem_addr:0 ~mem_kind:0
     in
     (* branch prediction across the whole stream *)
     let pc = Layout.block_id layout ~fid ~blk:blkl in

@@ -67,6 +67,9 @@ type result = {
 
 val run :
   Config.t -> Interp.Trace.t -> Layout.t -> Dyntask.instance -> env -> result
+(** Legacy entry point: allocates a fresh context, executes the instance and
+    materialises a {!result} record.  Kept for unit tests and one-shot
+    callers; the engine's hot path drives {!exec} on a reused {!ctx}. *)
 
 val attribute : result -> start_fetch:int -> Account.t -> unit
 (** Charge the instance's execution window ([start_fetch] .. [complete]) to
@@ -74,3 +77,92 @@ val attribute : result -> start_fetch:int -> Account.t -> unit
     and {!Account.Useful} (everything else, including intra-task dependence
     and structural stalls — uniprocessor costs, per the paper's §2 framing of
     task-selection issues). *)
+
+(** {2 Event-core fast path}
+
+    The engine allocates one {!ctx} per simulation and calls {!exec} for
+    every attempt of every dynamic task instance; all scratch state is
+    preallocated and invalidated by generation stamps, so steady-state
+    execution allocates nothing.  Results are read directly from the
+    context's flat arrays (DESIGN.md §10). *)
+
+(** Inter-task inputs as a record of closures created once per run (the
+    closures read the engine's mutable per-task state, so nothing is
+    allocated per attempt).  [h_mem_dep] packs the legacy
+    [(avail, synced) option] as an int: [-1] for [None], else
+    [(avail lsl 1) lor synced]. *)
+type hooks = {
+  h_reg_avail : Ir.Reg.t -> int;
+  h_mem_dep : addr:int -> load_site:int -> int;
+  h_load_lat : addr:int -> int;
+  h_mem_slot : addr:int -> at:int -> int;
+  h_ifetch_extra : fid:int -> blk:Ir.Block.label -> int;
+  h_cond_pred : pc:int -> taken:bool -> bool;
+  h_switch_pred : pc:int -> actual:int -> bool;
+}
+
+type ctx = {
+  cfg : Config.t;
+  trace : Interp.Trace.t;
+  layout : Layout.t;
+  units_int : int array;
+  units_fp : int array;
+  units_mem : int array;
+  units_branch : int array;
+  rob : int array;
+  iq : int array;
+  mutable issue_slots : int array;
+  mutable commit_slots : int array;
+  mutable gen : int;
+  local_time : int array;
+      (** per register: completion time of the instance's last write, or -1 *)
+  local_site : int array;  (** packed site of that write (see {!pack_site}) *)
+  avail_cache : int array;
+  local_store : Occ.Intmap.t;
+  addr_seen : Occ.Intmap.t;
+  mutable l_addr : int array;
+  mutable l_time : int array;
+  mutable l_site : int array;
+  mutable n_loads : int;
+  mutable s_addr : int array;
+  mutable s_time : int array;
+  mutable s_site : int array;
+  mutable n_stores : int;
+  mutable event_entry : int array;  (** valid for [0, n_events_inst) *)
+  mutable n_events_inst : int;
+  mutable h : hooks;  (** hooks and scheduler state of the current attempt *)
+  mutable mem_hold : int;
+  mutable fetch_time : int;
+  mutable fetch_in_cycle : int;
+  mutable insn_counter : int;
+  mutable last_commit : int;
+  mutable last_issue : int;
+  mutable complete : int;
+  mutable resolve : int;
+  mutable dyn_insns : int;
+  mutable intra_branches : int;
+  mutable intra_mispredicts : int;
+  mutable distinct_addrs : int;
+  mutable inter_wait : int;
+  mutable intra_wait : int;
+  mutable sync_waits : int;
+}
+
+val pack_site : fid:int -> blk:int -> idx:int -> int
+(** [fid lsl 36 | blk lsl 16 | idx] — sites as single ints on the hot path. *)
+
+val site_fid : int -> int
+val site_blk : int -> int
+val site_idx : int -> int
+val unpack_site : int -> site
+
+val create : Config.t -> Interp.Trace.t -> Layout.t -> ctx
+
+val exec :
+  ctx -> Dyntask.instance -> start_fetch:int -> mem_hold:int -> hooks -> unit
+(** Replay one instance, overwriting the context's result fields.  Cycle-
+    for-cycle equivalent to {!run} (the qcheck differential in
+    test/test_event_core.ml pins this against the frozen pre-event core). *)
+
+val attribute_ctx : ctx -> start_fetch:int -> Account.t -> unit
+(** {!attribute} reading the result from a context after {!exec}. *)

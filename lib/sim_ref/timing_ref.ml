@@ -1,0 +1,365 @@
+(* Frozen pre-event-core reference implementation of the per-task timing
+   model, copied verbatim from lib/sim/timing.ml as of PR 5.  Used only by
+   Engine_ref (see engine_ref.ml). *)
+open Sim
+type site = {
+  s_fid : int;
+  s_blk : Ir.Block.label;
+  s_idx : int;
+}
+
+type env = {
+  start_fetch : int;
+  reg_avail : Ir.Reg.t -> int;
+  mem_dep : addr:int -> load_site:int -> (int * bool) option;
+  load_lat : addr:int -> int;
+  mem_slot : addr:int -> at:int -> int;
+      (* reserve a D-cache/ARB bank port: earliest cycle >= [at] where the
+         address's bank is free (shared across all PUs) *)
+  ifetch_extra : fid:int -> blk:Ir.Block.label -> int;
+  cond_pred : pc:int -> taken:bool -> bool;
+  switch_pred : pc:int -> actual:int -> bool;
+  mem_hold : int;
+}
+
+type mem_op = {
+  m_addr : int;
+  m_time : int;
+  m_site : site;
+}
+
+type result = {
+  complete : int;
+  resolve : int;
+  event_entry : int array;
+      (* fetch time at the start of each event of the instance *)
+  dyn_insns : int;
+  intra_branches : int;
+  intra_mispredicts : int;
+  reg_writes : (Ir.Reg.t * int * site) list;
+  loads : mem_op list;
+  stores : mem_op list;
+  distinct_addrs : int;
+  inter_wait : int;
+  intra_wait : int;
+  sync_waits : int;
+}
+
+type pool = {
+  units : int array;       (* next cycle each unit can accept an op *)
+}
+
+let make_pool n = { units = Array.make n 0 }
+
+(* no-source sentinel *)
+let no_time = -1
+
+let run (cfg : Config.t) (trace : Interp.Trace.t) layout
+    (inst : Dyntask.instance) env =
+  let n_events = Interp.Trace.num_events trace in
+  let pool_int = make_pool cfg.Config.fu_int in
+  let pool_fp = make_pool cfg.Config.fu_fp in
+  let pool_mem = make_pool cfg.Config.fu_mem in
+  let pool_branch = make_pool cfg.Config.fu_branch in
+  let issue_slots : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let commit_slots : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let slot_count tbl t = match Hashtbl.find_opt tbl t with Some c -> c | None -> 0 in
+  let take_slot tbl t = Hashtbl.replace tbl t (slot_count tbl t + 1) in
+  (* choose issue cycle >= cand with a free unit and issue bandwidth *)
+  let find_issue cand pool ~init =
+    let t = ref cand in
+    let chosen = ref (-1) in
+    let continue_ = ref true in
+    while !continue_ do
+      (* earliest-free unit *)
+      let best = ref 0 in
+      for u = 1 to Array.length pool.units - 1 do
+        if pool.units.(u) < pool.units.(!best) then best := u
+      done;
+      if pool.units.(!best) > !t then t := pool.units.(!best)
+      else if slot_count issue_slots !t >= cfg.Config.issue_width then incr t
+      else begin
+        chosen := !best;
+        continue_ := false
+      end
+    done;
+    take_slot issue_slots !t;
+    pool.units.(!chosen) <- !t + init;
+    !t
+  in
+  (* recent-instruction windows for ROB / issue-list occupancy *)
+  let rob = Array.make cfg.Config.rob_size 0 in
+  let iq = Array.make cfg.Config.iq_size 0 in
+  let insn_counter = ref 0 in
+  (* fetch state *)
+  let fetch_time = ref env.start_fetch in
+  let fetch_in_cycle = ref 0 in
+  let next_fetch () =
+    if !fetch_in_cycle >= cfg.Config.issue_width then begin
+      incr fetch_time;
+      fetch_in_cycle := 0
+    end;
+    incr fetch_in_cycle;
+    !fetch_time
+  in
+  let redirect t =
+    if t + 1 > !fetch_time then begin
+      fetch_time := t + 1;
+      fetch_in_cycle := 0
+    end
+  in
+  (* register state *)
+  let local_time = Array.make Ir.Reg.count no_time in
+  let local_site = Array.make Ir.Reg.count { s_fid = 0; s_blk = 0; s_idx = 0 } in
+  let avail_cache = Array.make Ir.Reg.count no_time in
+  let outside_avail r =
+    if avail_cache.(r) = no_time then avail_cache.(r) <- max 0 (env.reg_avail r);
+    avail_cache.(r)
+  in
+  (* result accumulators *)
+  let last_commit = ref 0 in
+  let last_issue = ref 0 in
+  let resolve = ref env.start_fetch in
+  let dyn_insns = ref 0 in
+  let intra_branches = ref 0 in
+  let intra_mispredicts = ref 0 in
+  let loads = ref [] in
+  let stores = ref [] in
+  let addr_set = Hashtbl.create 32 in
+  (* local store-to-load forwarding: a load whose address was written earlier
+     in the same task depends on that store, not on older tasks *)
+  let local_store_time : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let inter_wait = ref 0 in
+  let intra_wait = ref 0 in
+  let sync_waits = ref 0 in
+  (* schedule one (pseudo-)instruction; returns completion time *)
+  (* [init]: initiation interval — 1 for pipelined units, the full latency
+     for unpipelined dividers *)
+  let sched ~site ~fu ~latency ~init ~uses ~defs ~mem =
+    incr dyn_insns;
+    let i = !insn_counter in
+    incr insn_counter;
+    let fetch_t = next_fetch () in
+    let disp_t = ref (fetch_t + cfg.Config.front_depth) in
+    if i >= cfg.Config.rob_size then
+      disp_t := max !disp_t rob.(i mod cfg.Config.rob_size);
+    if i >= cfg.Config.iq_size then
+      disp_t := max !disp_t iq.(i mod cfg.Config.iq_size);
+    (* operand readiness *)
+    let ready = ref 0 in
+    let inter_source = ref false in
+    let use r =
+      if r <> Ir.Reg.zero then begin
+        let t, inter =
+          if local_time.(r) <> no_time then (local_time.(r), false)
+          else (outside_avail r, true)
+        in
+        if t > !ready then begin
+          ready := t;
+          inter_source := inter
+        end
+      end
+    in
+    List.iter use uses;
+    (* memory dependence / sync / hold *)
+    let is_load = ref false in
+    let load_addr = ref 0 in
+    let load_is_local = ref false in
+    (match mem with
+    | None -> ()
+    | Some (addr, load) ->
+      Hashtbl.replace addr_set addr ();
+      if env.mem_hold > !ready then begin
+        ready := env.mem_hold;
+        inter_source := true
+      end;
+      if load then begin
+        is_load := true;
+        load_addr := addr;
+        match Hashtbl.find_opt local_store_time addr with
+        | Some t_st ->
+          (* forwarded inside the PU; older tasks are irrelevant *)
+          load_is_local := true;
+          if t_st > !ready then ready := t_st
+        | None ->
+          let lsite =
+            Layout.site_id layout ~fid:site.s_fid ~blk:site.s_blk ~idx:site.s_idx
+          in
+          (match env.mem_dep ~addr ~load_site:lsite with
+          | Some (avail, true) ->
+            (* synchronised: wait for the producing store *)
+            incr sync_waits;
+            if avail > !ready then begin
+              ready := avail;
+              inter_source := true
+            end
+          | Some (_, false) | None -> ())
+      end);
+    let base = if cfg.Config.in_order then max !disp_t !last_issue else !disp_t in
+    if !ready > base then begin
+      let w = !ready - base in
+      if !inter_source then inter_wait := !inter_wait + w
+      else intra_wait := !intra_wait + w
+    end;
+    let cand = max base !ready in
+    let issue_t = find_issue cand fu ~init in
+    last_issue := max !last_issue issue_t;
+    (* memory operations additionally contend for their interleaved bank *)
+    let access_t =
+      match mem with
+      | Some (addr, _) -> env.mem_slot ~addr ~at:issue_t
+      | None -> issue_t
+    in
+    let lat =
+      if !is_load then max (env.load_lat ~addr:!load_addr) cfg.Config.arb_hit
+      else latency
+    in
+    let complete_t = access_t + lat in
+    (match mem with
+    | Some (addr, true) ->
+      (* locally-forwarded loads cannot violate against older tasks *)
+      if not !load_is_local then
+        loads := { m_addr = addr; m_time = access_t; m_site = site } :: !loads
+    | Some (addr, false) ->
+      let t_st = access_t + 1 in
+      Hashtbl.replace local_store_time addr t_st;
+      stores := { m_addr = addr; m_time = t_st; m_site = site } :: !stores
+    | None -> ());
+    (* in-order commit with issue-width bandwidth *)
+    let c = ref (max complete_t !last_commit) in
+    while slot_count commit_slots !c >= cfg.Config.issue_width do
+      incr c
+    done;
+    take_slot commit_slots !c;
+    last_commit := !c;
+    rob.(i mod cfg.Config.rob_size) <- !c;
+    iq.(i mod cfg.Config.iq_size) <- issue_t;
+    List.iter
+      (fun d ->
+        if d <> Ir.Reg.zero then begin
+          local_time.(d) <- complete_t;
+          local_site.(d) <- site
+        end)
+      defs;
+    complete_t
+  in
+  (* walk the events of the instance *)
+  let num_inst_events = inst.Dyntask.last - inst.Dyntask.first + 1 in
+  let event_entry = Array.make num_inst_events 0 in
+  for j = inst.Dyntask.first to inst.Dyntask.last do
+    let fid = Interp.Trace.get_fid trace j in
+    let blkl = Interp.Trace.get_blk trace j in
+    let blk = Interp.Trace.block_at trace j in
+    (* I-cache: pay any miss latency before fetching the block *)
+    let extra = env.ifetch_extra ~fid ~blk:blkl in
+    if extra > 0 then begin
+      fetch_time := !fetch_time + extra;
+      fetch_in_cycle := 0
+    end;
+    event_entry.(j - inst.Dyntask.first) <- !fetch_time;
+    let addr_base = Interp.Trace.addr_offset trace j in
+    let next_addr = ref 0 in
+    Array.iteri
+      (fun idx insn ->
+        let site = { s_fid = fid; s_blk = blkl; s_idx = idx } in
+        let fu_class = Ir.Insn.fu_class insn in
+        let fu, latency, init =
+          match fu_class with
+          | Ir.Insn.Fu_int -> (pool_int, cfg.Config.lat_int, 1)
+          | Ir.Insn.Fu_int_mul -> (pool_int, cfg.Config.lat_int_mul, 1)
+          | Ir.Insn.Fu_int_div ->
+            (pool_int, cfg.Config.lat_int_div, cfg.Config.lat_int_div)
+          | Ir.Insn.Fu_fp -> (pool_fp, cfg.Config.lat_fp, 1)
+          | Ir.Insn.Fu_fp_div ->
+            (pool_fp, cfg.Config.lat_fp_div, cfg.Config.lat_fp_div)
+          | Ir.Insn.Fu_load | Ir.Insn.Fu_store -> (pool_mem, 1, 1)
+        in
+        let mem =
+          if Ir.Insn.is_mem insn then begin
+            let addr = Interp.Trace.addr_at trace (addr_base + !next_addr) in
+            incr next_addr;
+            match insn with
+            | Ir.Insn.Load (_, _, _) -> Some (addr, true)
+            | _ -> Some (addr, false)
+          end
+          else None
+        in
+        ignore
+          (sched ~site ~fu ~latency ~init ~uses:(Ir.Insn.uses insn)
+             ~defs:(Ir.Insn.defs insn) ~mem))
+      blk.Ir.Block.insns;
+    (* terminator *)
+    let tidx = Array.length blk.Ir.Block.insns in
+    let site = { s_fid = fid; s_blk = blkl; s_idx = tidx } in
+    let uses = Analysis.Dataflow.term_uses blk.Ir.Block.term in
+    let uses =
+      (* the argument registers of calls are consumed by the callee's own
+         instructions, not by the call transfer itself *)
+      match blk.Ir.Block.term with
+      | Ir.Block.Call (_, _) -> []
+      | Ir.Block.Br _ | Ir.Block.Switch _ | Ir.Block.Jump _ | Ir.Block.Ret
+      | Ir.Block.Halt -> uses
+    in
+    let t_complete =
+      sched ~site ~fu:pool_branch ~latency:1 ~init:1 ~uses ~defs:[] ~mem:None
+    in
+    resolve := max !resolve t_complete;
+    (* intra-task control prediction for conditional transfers *)
+    let pc = Layout.block_id layout ~fid ~blk:blkl in
+    let next_in_fid =
+      j + 1 < n_events && Interp.Trace.get_fid trace (j + 1) = fid
+    in
+    (match blk.Ir.Block.term with
+    | Ir.Block.Br (_, l1, _) when next_in_fid ->
+      incr intra_branches;
+      let taken = Interp.Trace.get_blk trace (j + 1) = l1 in
+      if not (env.cond_pred ~pc ~taken) then begin
+        incr intra_mispredicts;
+        if j < inst.Dyntask.last then redirect (t_complete + cfg.Config.branch_redirect - 1)
+      end
+    | Ir.Block.Switch (_, targets, _) when next_in_fid ->
+      incr intra_branches;
+      let next_blk = Interp.Trace.get_blk trace (j + 1) in
+      let actual = ref (Array.length targets) in
+      Array.iteri
+        (fun k l -> if l = next_blk && !actual = Array.length targets then actual := k)
+        targets;
+      if not (env.switch_pred ~pc ~actual:!actual) then begin
+        incr intra_mispredicts;
+        if j < inst.Dyntask.last then redirect (t_complete + cfg.Config.branch_redirect - 1)
+      end
+    | Ir.Block.Br _ | Ir.Block.Switch _ | Ir.Block.Jump _ | Ir.Block.Call _
+    | Ir.Block.Ret | Ir.Block.Halt -> ())
+  done;
+  let reg_writes = ref [] in
+  for r = 0 to Ir.Reg.count - 1 do
+    if local_time.(r) <> no_time then
+      reg_writes := (r, local_time.(r), local_site.(r)) :: !reg_writes
+  done;
+  {
+    complete = !last_commit;
+    resolve = !resolve;
+    event_entry;
+    dyn_insns = !dyn_insns;
+    intra_branches = !intra_branches;
+    intra_mispredicts = !intra_mispredicts;
+    reg_writes = !reg_writes;
+    loads = List.rev !loads;
+    stores = List.rev !stores;
+    distinct_addrs = Hashtbl.length addr_set;
+    inter_wait = !inter_wait;
+    intra_wait = !intra_wait;
+    sync_waits = !sync_waits;
+  }
+
+(* Split an instance's execution window between useful work and inter-task
+   data waits.  [inter_wait] is a per-instruction sum of issue cycles lost to
+   operands produced by older tasks (ring arrivals, ARB forwards, overflow
+   holds); with multiple instructions blocked on the same arrival it can
+   exceed the wall-clock window, so it is clamped — attribution charges each
+   wall-clock cycle at most once. *)
+let attribute (res : result) ~start_fetch acct =
+  let window = max 0 (res.complete - start_fetch) in
+  let data_wait = min res.inter_wait window in
+  Account.add acct Account.Data_wait data_wait;
+  Account.add acct Account.Useful (window - data_wait)

@@ -7,7 +7,9 @@
 # record violates the conservation invariant (categories summing to
 # PUs x cycles); the deps section writes bench/deps.json and exits non-zero
 # if any observed cross-task memory dependence escaped the static analyzer
-# (dep/sound).  Either failure fails the smoke.  Run from anywhere:
+# (dep/sound).  Either failure fails the smoke.  A final perf gate re-times
+# the figure5 report against the committed BENCH_figure5.json baseline and
+# fails if it has regressed by more than 10%.  Run from anywhere:
 #
 #   tools/smoke.sh
 #
@@ -86,5 +88,34 @@ EOF
 
 step account-json check_account_json
 step deps-json check_deps_json
+
+# perf gate: the event core must not quietly regress.  Re-time the figure5
+# report and fail fast if it runs more than 10% slower than the committed
+# BENCH_figure5.json baseline (scaled comparisons are meaningless across
+# machines, so the gate only fires when a baseline exists).
+check_perf() {
+  if [ ! -f BENCH_figure5.json ]; then
+    echo "smoke: no BENCH_figure5.json baseline; skipping perf gate"
+    return 0
+  fi
+  dune exec bin/msc.exe -- bench-time -o /tmp/bench_figure5_now.json \
+    >/dev/null
+  python3 - <<'EOF'
+import json, sys
+def fig5(path):
+    for s in json.load(open(path))["sections"]:
+        if s["section"] == "figure5":
+            return s["seconds"]
+    sys.exit("smoke: %s has no figure5 section" % path)
+base = fig5("BENCH_figure5.json")
+now = fig5("/tmp/bench_figure5_now.json")
+if now > base * 1.10:
+    sys.exit("smoke: figure5 perf regression: %.2fs now vs %.2fs baseline "
+             "(>10%% slower)" % (now, base))
+print("smoke: figure5 %.2fs vs %.2fs baseline: within 10%%" % (now, base))
+EOF
+}
+
+step perf check_perf
 
 echo "smoke: OK"
