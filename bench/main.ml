@@ -29,6 +29,10 @@
      deps     - static cross-task dependence edges (Core.Depend) grounded
                 against the observed trace flows, exported to
                 bench/deps.json; exits non-zero on any soundness violation
+     cost     - predicted cycle-account shares (Analysis.Cost) vs measured,
+                all levels + fb, exported to bench/cost.json; exits non-zero
+                if fb loses to ts on geomean IPC or the predicted data_wait
+                share stops tracking the measured one (r < +0.5)
      bechamel - wall-clock measurement of the pipeline stages
 
    Run with: dune exec bench/main.exe            (all sections)
@@ -38,7 +42,7 @@ let sections =
   if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
   else
     [ "table1"; "figure5"; "summary"; "superscalar"; "ablation"; "crossinput";
-      "lint"; "trace"; "account"; "deps"; "bechamel" ]
+      "lint"; "trace"; "account"; "deps"; "cost"; "bechamel" ]
 
 let want s = List.mem s sections
 
@@ -512,6 +516,76 @@ let run_deps () =
   end;
   Printf.printf "soundness: every observed dependence predicted\n"
 
+(* --- static cost model ------------------------------------------------------ *)
+
+(* Predicted cycle-account shares per plan against the measured Sim.Account
+   shares, plus the payoff of trusting the model: the fb level must beat
+   its ts seed on geomean IPC, and the predicted data_wait share must
+   positively track the measured one at every profile-driven level.  Both
+   are hard gates — a silent model regression would turn the fb level into
+   noise while every per-plan lint check still passes. *)
+let run_cost () =
+  line ();
+  print_endline
+    "COST — predicted cycle-account shares vs measured (Analysis.Cost)\n\
+     (all workloads x all levels + fb; measured on the 8-PU out-of-order\n\
+     machine)";
+  line ();
+  let rows = Report.Cost.run ~store Workloads.Suite.all in
+  Format.printf "%a@." Report.Cost.pp rows;
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "cost.json"
+    else "cost.json"
+  in
+  let oc = open_out path in
+  output_string oc (Harness.Json.to_string (Report.Cost.to_json rows));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d cost rows)\n" path (List.length rows);
+  let geo = Report.Cost.geomean_ipc rows in
+  let geo_of level =
+    List.find_map
+      (fun (l, _, g) -> if l = level then Some g else None)
+      geo
+  in
+  (match (geo_of Core.Heuristics.Feedback, geo_of Core.Heuristics.Task_size) with
+  | Some fb, Some ts when fb > ts ->
+    Printf.printf "feedback gate: fb geomean %.3f > ts geomean %.3f\n" fb ts
+  | Some fb, Some ts ->
+    Printf.printf
+      "FEEDBACK REGRESSION: fb geomean %.3f <= ts geomean %.3f\n" fb ts;
+    exit 1
+  | _ ->
+    print_endline "FEEDBACK REGRESSION: missing fb or ts geomean row";
+    exit 1);
+  let corr = Report.Cost.correlation rows in
+  List.iter
+    (fun level ->
+      match
+        List.find_map
+          (fun (l, c, _, p) ->
+            if l = level && c = "data_wait" then Some p else None)
+          corr
+      with
+      | Some p when p >= 0.5 ->
+        Printf.printf "correlation gate: %s data_wait r %+.3f >= +0.5\n"
+          (Core.Heuristics.level_name level)
+          p
+      | Some p ->
+        Printf.printf "MODEL REGRESSION: %s data_wait r %+.3f < +0.5\n"
+          (Core.Heuristics.level_name level)
+          p;
+        exit 1
+      | None ->
+        Printf.printf "MODEL REGRESSION: no data_wait correlation at %s\n"
+          (Core.Heuristics.level_name level);
+        exit 1)
+    [
+      Core.Heuristics.Control_flow; Core.Heuristics.Data_dependence;
+      Core.Heuristics.Task_size;
+    ]
+
 (* --- bechamel ------------------------------------------------------------- *)
 
 let run_bechamel () =
@@ -600,6 +674,7 @@ let () =
   if want "trace" then run_trace ();
   if want "account" then run_account ();
   if want "deps" then run_deps ();
+  if want "cost" then run_cost ();
   if want "bechamel" then run_bechamel ();
   line ();
   export_results ();

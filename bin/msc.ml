@@ -12,6 +12,7 @@
      superscalar simulate on the centralised superscalar reference machine
      lint        statically verify IR, partitions and register communication
      deps        static cross-task dependence edges vs observed trace flows
+     cost        predicted cycle-account shares (static model) vs measured
      trace-stats memory statistics of the packed dynamic traces
      table1      regenerate the paper's Table 1
      figure5     regenerate the paper's Figure 5
@@ -26,6 +27,7 @@ let level_conv =
     | "cf" | "control-flow" -> Ok Core.Heuristics.Control_flow
     | "dd" | "data-dependence" -> Ok Core.Heuristics.Data_dependence
     | "ts" | "task-size" -> Ok Core.Heuristics.Task_size
+    | "fb" | "feedback" -> Ok Core.Heuristics.Feedback
     | _ -> Error (`Msg (Printf.sprintf "unknown heuristic level %S" s))
   in
   let print ppf l = Format.pp_print_string ppf (Core.Heuristics.level_name l) in
@@ -36,7 +38,7 @@ let workload_arg =
   Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc)
 
 let level_arg =
-  let doc = "Task-selection heuristic: bb, cf, dd or ts." in
+  let doc = "Task-selection heuristic: bb, cf, dd, ts or fb." in
   Arg.(value & opt level_conv Core.Heuristics.Data_dependence
        & info [ "l"; "level" ] ~doc)
 
@@ -246,7 +248,7 @@ let run_file_cmd =
 " e;
       exit 1
     | Ok prog ->
-      let plan = Core.Partition.build level prog in
+      let plan = Core.Cost.plan_for_level level prog in
       let cfg = Sim.Config.default ~num_pus:pus ~in_order in
       let r = Sim.Engine.run cfg plan in
       let s = r.Sim.Engine.stats in
@@ -507,6 +509,50 @@ let deps_cmd =
     Term.(const run $ workloads_filter $ level_opt_arg $ pus_arg
           $ in_order_arg $ jobs_arg $ deps_json_arg)
 
+(* --- cost ------------------------------------------------------------------ *)
+
+let cost_cmd =
+  let level_opt_arg =
+    let doc = "Restrict to one heuristic level (default: all four + fb)." in
+    Arg.(value & opt (some level_conv) None & info [ "l"; "level" ] ~doc)
+  in
+  let cost_json_arg =
+    let doc =
+      "Export the cost rows, per-level correlations and per-level geomean \
+       IPC as JSON to $(docv) (same shape as bench/cost.json)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run only level pus in_order jobs json =
+    let entries = suite_of only in
+    let levels =
+      match level with
+      | None -> Core.Heuristics.extended_levels
+      | Some l -> [ l ]
+    in
+    let rows =
+      Report.Cost.run ~store ?jobs ~levels ~num_pus:pus ~in_order entries
+    in
+    Format.printf "%a@." Report.Cost.pp rows;
+    match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Harness.Json.to_string (Report.Cost.to_json rows));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s (%d cost rows)\n" path (List.length rows)
+  in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:
+         "Predicted cycle-account shares of every plan (Analysis.Cost \
+          static model) joined against the measured Sim.Account shares, \
+          with per-level predicted-vs-measured correlations and geomean \
+          IPC")
+    Term.(const run $ workloads_filter $ level_opt_arg $ pus_arg
+          $ in_order_arg $ jobs_arg $ cost_json_arg)
+
 (* --- trace-stats ----------------------------------------------------------- *)
 
 let trace_stats_cmd =
@@ -642,6 +688,12 @@ let bench_time_cmd =
           Format.fprintf null "%a@."
             Report.Figure5.pp (Report.Figure5.run ~store ?jobs suite))
     in
+    let cost_s =
+      time_section (fun () ->
+          let store = Harness.Artifact.create () in
+          Format.fprintf null "%a@."
+            Report.Cost.pp (Report.Cost.run ~store ?jobs suite))
+    in
     let json =
       Harness.Json.Obj
         [
@@ -668,6 +720,11 @@ let bench_time_cmd =
                     ( "speedup_vs_seed",
                       Harness.Json.Float (seed_seconds /. figure5_s) );
                   ];
+                Harness.Json.Obj
+                  [
+                    ("section", Harness.Json.String "cost");
+                    ("seconds", Harness.Json.Float cost_s);
+                  ];
               ] );
         ]
     in
@@ -676,14 +733,15 @@ let bench_time_cmd =
     output_char oc '\n';
     close_out oc;
     Printf.printf
-      "table1 %.2fs, figure5 %.2fs (%.1fx vs %.1fs seed); wrote %s\n" table1_s
-      figure5_s (seed_seconds /. figure5_s) seed_seconds out
+      "table1 %.2fs, figure5 %.2fs (%.1fx vs %.1fs seed), cost %.2fs; wrote \
+       %s\n"
+      table1_s figure5_s (seed_seconds /. figure5_s) seed_seconds cost_s out
   in
   Cmd.v
     (Cmd.info "bench-time"
        ~doc:
-         "Wall-clock the table1 and figure5 reports and record the timings \
-          (with the speedup over the growth-seed core) as JSON")
+         "Wall-clock the table1, figure5 and cost reports and record the \
+          timings (with the speedup over the growth-seed core) as JSON")
     Term.(const run $ workloads_filter $ jobs_arg $ out_arg)
 
 let main =
@@ -694,7 +752,8 @@ let main =
   Cmd.group info
     [
       list_cmd; run_cmd; breakdown_cmd; dump_cmd; lint_cmd; deps_cmd;
-      trace_stats_cmd; table1_cmd; figure5_cmd; bench_time_cmd; run_file_cmd;
+      cost_cmd; trace_stats_cmd; table1_cmd; figure5_cmd; bench_time_cmd;
+      run_file_cmd;
       export_cmd; dot_cmd; superscalar_cmd; timeline_cmd;
     ]
 

@@ -214,6 +214,17 @@ let producer_heights ctx (task : Task.t) =
   done;
   (heights, sites)
 
+let exposed_reads (f : Ir.Func.t) (part : Task.partition) =
+  let ctx = make_fctx f part in
+  let acc = ref [] in
+  for ti = Array.length part.Task.tasks - 1 downto 0 do
+    let depths = consumer_depths ctx part.Task.tasks.(ti) in
+    for r = Ir.Reg.count - 1 downto 1 do
+      if depths.(r) >= 0 then acc := (ti, r, depths.(r)) :: !acc
+    done
+  done;
+  !acc
+
 let reg_edges_of_func fname (f : Ir.Func.t) (part : Task.partition) =
   let ctx = make_fctx f part in
   let tasks = part.Task.tasks in

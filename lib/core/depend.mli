@@ -50,6 +50,23 @@ type t
 
 val analyze : Partition.plan -> t
 
+val exposed_reads :
+  Ir.Func.t -> Task.partition -> (int * Ir.Reg.t * int) list
+(** [(task, reg, depth)] for every register a task reads before writing
+    (minimum instruction distance from the task entry to the first read),
+    sorted by [(task, reg)].  This is the consumer half of the criticality
+    pair for {e every} upward-exposed read, whoever produces the value —
+    unlike {!reg_edges}, which only pairs immediate-successor tasks, it
+    cannot be shrunk by pushing a producer further back, which is what
+    makes it the split-robust part of the cost model's [data_wait] term. *)
+
+val reg_edges_of_func :
+  string -> Ir.Func.t -> Task.partition -> reg_edge list
+(** Register edges of a single function's partition, independent of the
+    rest of the plan — the incremental entry point the cost model
+    ({!Cost}) uses while searching over one function's boundaries.
+    [analyze] returns exactly the concatenation of these over the plan. *)
+
 val summary : t -> Analysis.Memdep.t
 (** The address analysis the memory edges were derived from. *)
 

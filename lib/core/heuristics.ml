@@ -3,14 +3,17 @@ type level =
   | Control_flow
   | Data_dependence
   | Task_size
+  | Feedback
 
 let all_levels = [ Basic_block; Control_flow; Data_dependence; Task_size ]
+let extended_levels = all_levels @ [ Feedback ]
 
 let level_name = function
   | Basic_block -> "basic-block"
   | Control_flow -> "control-flow"
   | Data_dependence -> "data-dependence"
   | Task_size -> "task-size"
+  | Feedback -> "feedback"
 
 type params = {
   max_targets : int;

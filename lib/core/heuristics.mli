@@ -8,15 +8,27 @@
     - [Data_dependence]: additionally steer growth along profiled def-use
       chains (§3.4), applied on top of the control-flow heuristic;
     - [Task_size]: additionally unroll short loops and include short function
-      calls (§3.2), applied on top of both. *)
+      calls (§3.2), applied on top of both.
+
+    [Feedback] goes beyond the paper: starting from the [Task_size] plan it
+    greedily moves task boundaries along dominator edges, keeping a move
+    only when it lowers the static plan cost predicted by {!Analysis.Cost}
+    fed with {!Depend} criticality pairs (see [Core.Cost]). *)
 
 type level =
   | Basic_block
   | Control_flow
   | Data_dependence
   | Task_size
+  | Feedback
 
 val all_levels : level list
+(** The paper's four levels, in Figure-5 order — [Feedback] is excluded so
+    every report that reproduces a paper figure keeps its exact grid. *)
+
+val extended_levels : level list
+(** {!all_levels} plus [Feedback] — the grid for cost-model reports. *)
+
 val level_name : level -> string
 
 type params = {

@@ -45,7 +45,7 @@ let build ?(params = Heuristics.default) ?(optimize = false)
      while hoisting handles the remaining loops *)
   let (prog, prof_prog), included_of =
     match level with
-    | Heuristics.Task_size ->
+    | Heuristics.Task_size | Heuristics.Feedback ->
       let outcome = Interp.Run.execute prof_prog in
       let profile = outcome.Interp.Run.profile in
       let trace = outcome.Interp.Run.trace in
@@ -80,7 +80,8 @@ let build ?(params = Heuristics.default) ?(optimize = false)
   in
   let profile_for_deps =
     match level with
-    | Heuristics.Data_dependence | Heuristics.Task_size ->
+    | Heuristics.Data_dependence | Heuristics.Task_size | Heuristics.Feedback
+      ->
       let outcome = Interp.Run.execute prof_prog in
       Some (outcome.Interp.Run.profile, outcome.Interp.Run.trace)
     | Heuristics.Basic_block | Heuristics.Control_flow -> None
@@ -90,7 +91,8 @@ let build ?(params = Heuristics.default) ?(optimize = false)
     | Heuristics.Basic_block -> Select.basic_block f
     | Heuristics.Control_flow ->
       Select.control_flow params f ~included_calls:(included_of f)
-    | Heuristics.Data_dependence | Heuristics.Task_size ->
+    | Heuristics.Data_dependence | Heuristics.Task_size | Heuristics.Feedback
+      ->
       let deps =
         match profile_for_deps with
         | Some (profile, trace) ->
@@ -120,3 +122,13 @@ let validator : (plan -> (unit, string) result) ref =
 
 let set_validator f = validator := f
 let validate plan = !validator plan
+
+(* Same link-time pattern for the static dep/reg audit: lint checks every
+   register dependence edge recomputed for a partition without needing a
+   trace, which is what the cost-directed search uses to vet candidates. *)
+let dep_validator : (plan -> (unit, string) result) ref =
+  ref (fun _ ->
+      Error "Partition.validate_deps: the lint library is not linked")
+
+let set_dep_validator f = dep_validator := f
+let validate_deps plan = !dep_validator plan

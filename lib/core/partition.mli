@@ -45,6 +45,15 @@ val set_validator : (plan -> (unit, string) result) -> unit
 (** Registration hook for the checker behind {!validate}.  Called by the
     lint library's initialiser; not intended for other use. *)
 
+val validate_deps : plan -> (unit, string) result
+(** Static dep/reg audit of a plan, delegated to the lint library's
+    per-function register-dependence checker (no trace needed).  The
+    cost-directed search ({!Cost.refine}) runs this, plus {!validate}, on
+    every candidate before accepting it. *)
+
+val set_dep_validator : (plan -> (unit, string) result) -> unit
+(** Registration hook for the checker behind {!validate_deps}. *)
+
 val dep_edges_of_profile :
   Interp.Profile.t -> fid:int -> Ir.Func.t -> Select.dep_edge list
 (** Cross-block register dependences of one function, with profiled dynamic

@@ -47,7 +47,7 @@ let cf_admissible ctx ~entry included ~src ~dst =
    whether an included child is pushed onto the exploration queue; the
    control-flow heuristic always explores, the data-dependence heuristic
    explores only codependent children. *)
-let grow_task ctx ~entry ~steer =
+let grow_task ?(cut = fun _ -> false) ctx ~entry ~steer =
   let included = ref (Iset.singleton entry) in
   let feasible = ref (Iset.singleton entry) in
   let q = Queue.create () in
@@ -66,7 +66,10 @@ let grow_task ctx ~entry ~steer =
     then
       List.iter
         (fun ch ->
-          if cf_admissible ctx ~entry !included ~src:b ~dst:ch then begin
+          if
+            (not (cut ch))
+            && cf_admissible ctx ~entry !included ~src:b ~dst:ch
+          then begin
             included := Iset.add ch !included;
             if fits !included then feasible := !included;
             if steer !included ch then Queue.add ch q
@@ -122,6 +125,18 @@ let control_flow params f ~included_calls =
   let ctx = make_ctx params f ~included_calls in
   close_partition ctx ~grow:(fun entry ->
       grow_task ctx ~entry ~steer:(fun _ _ -> true))
+
+(* Control-flow growth under forced boundaries: blocks in [cuts] are never
+   absorbed into another task, so each reachable cut heads its own task
+   (closure discovers it as a target of whatever task contains one of its
+   predecessors).  This is the mechanism the cost-directed [fb] search
+   uses to move task heads along dominator edges. *)
+let with_cuts params f ~included_calls ~cuts =
+  let ctx = make_ctx params f ~included_calls in
+  close_partition ctx ~grow:(fun entry ->
+      grow_task ctx ~entry
+        ~cut:(fun b -> Iset.mem b cuts)
+        ~steer:(fun _ _ -> true))
 
 let data_dependence params f ~included_calls ~deps =
   let ctx = make_ctx params f ~included_calls in

@@ -28,6 +28,15 @@ val basic_block : Ir.Func.t -> Task.partition
 val control_flow :
   Heuristics.params -> Ir.Func.t -> included_calls:bool array -> Task.partition
 
+val with_cuts :
+  Heuristics.params -> Ir.Func.t -> included_calls:bool array ->
+  cuts:Task.Iset.t -> Task.partition
+(** Control-flow growth with forced task boundaries: no task ever absorbs a
+    block in [cuts], so every reachable cut block heads its own task.  Used
+    by the cost-directed feedback search ({!Cost.refine}) to move task heads
+    along dominator edges; with [cuts] equal to an existing partition's entry
+    set it reproduces a partition with at least those boundaries. *)
+
 val data_dependence :
   Heuristics.params -> Ir.Func.t -> included_calls:bool array ->
   deps:dep_edge list -> Task.partition

@@ -90,7 +90,7 @@ let get t ?(params = Core.Heuristics.default) ?(profile_alt = false)
         else None
       in
       let plan =
-        Core.Partition.build ~params ?profile_input
+        Core.Cost.plan_for_level ~params ?profile_input
           ~optimize:variant.optimize ~if_convert:variant.if_convert
           ~schedule:variant.schedule level prog
       in
@@ -119,7 +119,7 @@ let level_index level =
     | [] -> invalid_arg "Artifact.level_index"
     | l :: rest -> if l = level then i else go (i + 1) rest
   in
-  go 0 Core.Heuristics.all_levels
+  go 0 Core.Heuristics.extended_levels
 
 let traces t =
   Mutex.lock t.mu;

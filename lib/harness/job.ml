@@ -213,6 +213,35 @@ let deps_of_store store =
       else None)
     (Artifact.traces store)
 
+(* --- static cost predictions ----------------------------------------------- *)
+
+type cost = {
+  co_workload : string;
+  co_kind : Workloads.Registry.kind;
+  co_level : Core.Heuristics.level;
+  co_tasks : int;
+  co_scalar : float;
+  co_pred : Analysis.Cost.shares;
+}
+
+let cost_of_artifact (art : Artifact.artifact) =
+  let plan = art.Artifact.plan in
+  let r = Core.Cost.plan_cost plan in
+  let tasks =
+    Ir.Prog.Smap.fold
+      (fun _ (p : Core.Task.partition) acc ->
+        acc + Array.length p.Core.Task.tasks)
+      plan.Core.Partition.parts 0
+  in
+  {
+    co_workload = art.Artifact.key.Artifact.workload;
+    co_kind = art.Artifact.kind;
+    co_level = art.Artifact.key.Artifact.level;
+    co_tasks = tasks;
+    co_scalar = r.Core.Cost.r_scalar;
+    co_pred = r.Core.Cost.r_shares;
+  }
+
 (* --- JSON ----------------------------------------------------------------- *)
 
 let level_tag = function
@@ -220,12 +249,14 @@ let level_tag = function
   | Core.Heuristics.Control_flow -> "cf"
   | Core.Heuristics.Data_dependence -> "dd"
   | Core.Heuristics.Task_size -> "ts"
+  | Core.Heuristics.Feedback -> "fb"
 
 let level_of_tag = function
   | "bb" -> Ok Core.Heuristics.Basic_block
   | "cf" -> Ok Core.Heuristics.Control_flow
   | "dd" -> Ok Core.Heuristics.Data_dependence
   | "ts" -> Ok Core.Heuristics.Task_size
+  | "fb" -> Ok Core.Heuristics.Feedback
   | s -> Error (Printf.sprintf "unknown level tag %S" s)
 
 let result_to_json r =
@@ -295,6 +326,23 @@ let dep_to_json d =
       ("predicted_hit", Json.Int d.d_predicted_hit);
       ("dyn_flows", Json.Int d.d_dyn_flows);
       ("violations", Json.Int (dep_violations d));
+    ]
+
+let cost_to_json c =
+  let s = c.co_pred in
+  Json.Obj
+    [
+      ("workload", Json.String c.co_workload);
+      ("kind", Json.String (Workloads.Registry.kind_name c.co_kind));
+      ("level", Json.String (level_tag c.co_level));
+      ("tasks", Json.Int c.co_tasks);
+      ("scalar", Json.Float c.co_scalar);
+      ("pred_useful", Json.Float s.Analysis.Cost.s_useful);
+      ("pred_data_wait", Json.Float s.Analysis.Cost.s_data_wait);
+      ("pred_ctrl_squash", Json.Float s.Analysis.Cost.s_ctrl_squash);
+      ("pred_mem_squash", Json.Float s.Analysis.Cost.s_mem_squash);
+      ("pred_load_imbalance", Json.Float s.Analysis.Cost.s_load_imbalance);
+      ("pred_overhead", Json.Float s.Analysis.Cost.s_overhead);
     ]
 
 let accounts_to_json accounts =

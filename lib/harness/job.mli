@@ -140,6 +140,31 @@ val dep_to_json : dep -> Json.t
 (** Integer-only counts (plus the derived [violations]); ratio metrics are
     left to readers so golden snapshots stay float-free. *)
 
+(** {1 Static cost predictions}
+
+    Per-(workload, level) predicted cycle-account shares from the
+    {!Core.Cost} static model — no simulation involved.  These records
+    feed the bench [cost] section ([bench/cost.json]) and the [msc cost]
+    subcommand; the report layer joins them against measured
+    {!Sim.Account} shares on [(workload, level)]. *)
+
+type cost = {
+  co_workload : string;
+  co_kind : Workloads.Registry.kind;
+  co_level : Core.Heuristics.level;
+  co_tasks : int;     (** static tasks across the plan *)
+  co_scalar : float;  (** predicted penalties / useful-work base *)
+  co_pred : Analysis.Cost.shares;
+}
+
+val cost_of_artifact : Artifact.artifact -> cost
+(** Score the artifact's plan with {!Core.Cost.plan_cost}.  Not memoized —
+    the model is cheap next to the pipeline that produced the artifact. *)
+
+val cost_to_json : cost -> Json.t
+(** The scalar and predicted shares as floats — cost goldens pin these
+    bytes deliberately, a formatting drift is a model drift. *)
+
 val account_to_json : account -> Json.t
 (** Integer cycle counts per category plus the [budget] ([pus * cycles]);
     percentages are left to readers so golden snapshots stay float-free. *)

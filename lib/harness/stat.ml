@@ -10,16 +10,24 @@ let mean xs =
   | [] -> 0.0
   | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
-let pearson pts =
+(* Centered two-pass form: the textbook E[xy] - E[x]E[y] expansion loses
+   all significance when a series is (nearly) constant — the subtraction
+   of two large almost-equal sums can leave positive float dust where the
+   true variance is zero, and the quotient then explodes instead of being
+   caught by a <= 0 guard. *)
+let pearson_opt pts =
   match pts with
-  | [] | [ _ ] -> 0.0
+  | [] | [ _ ] -> None
   | _ ->
     let n = float_of_int (List.length pts) in
     let fold f = List.fold_left (fun a p -> a +. f p) 0.0 pts in
-    let sx = fold fst and sy = fold snd in
-    let sxx = fold (fun (x, _) -> x *. x)
-    and syy = fold (fun (_, y) -> y *. y)
-    and sxy = fold (fun (x, y) -> x *. y) in
-    let cov = sxy -. (sx *. sy /. n) in
-    let vx = sxx -. (sx *. sx /. n) and vy = syy -. (sy *. sy /. n) in
-    if vx <= 0.0 || vy <= 0.0 then 0.0 else cov /. sqrt (vx *. vy)
+    let mx = fold fst /. n and my = fold snd /. n in
+    let vx = fold (fun (x, _) -> (x -. mx) *. (x -. mx))
+    and vy = fold (fun (_, y) -> (y -. my) *. (y -. my))
+    and cov = fold (fun (x, y) -> (x -. mx) *. (y -. my)) in
+    if vx <= 0.0 || vy <= 0.0 then None
+    else
+      (* clamp: rounding can push a perfect correlation past +/-1 *)
+      Some (Float.max (-1.0) (Float.min 1.0 (cov /. sqrt (vx *. vy))))
+
+let pearson pts = match pearson_opt pts with Some r -> r | None -> 0.0

@@ -9,7 +9,12 @@ val geomean : float list -> float
 val mean : float list -> float
 (** Arithmetic mean; empty list yields [0.0]. *)
 
+val pearson_opt : (float * float) list -> float option
+(** Pearson correlation coefficient of [(x, y)] samples, computed in
+    centered two-pass form (immune to the cancellation that makes the
+    one-pass expansion return garbage on near-constant series) and clamped
+    to [[-1, 1]].  [None] when no linear relationship can be estimated:
+    fewer than two points, or zero variance on either axis. *)
+
 val pearson : (float * float) list -> float
-(** Pearson correlation coefficient of [(x, y)] samples.  Fewer than two
-    points, or zero variance on either axis, yields [0.0] (no linear
-    relationship can be estimated). *)
+(** {!pearson_opt} with the undefined case collapsed to [0.0]. *)

@@ -264,6 +264,7 @@ let level_rank = function
   | Core.Heuristics.Control_flow -> 1
   | Core.Heuristics.Data_dependence -> 2
   | Core.Heuristics.Task_size -> 3
+  | Core.Heuristics.Feedback -> 4
 
 let pp_labels labels =
   String.concat "," (List.map (fun l -> "L" ^ string_of_int l) labels)
@@ -743,6 +744,7 @@ let () =
       ("acct/conserve", "cycle accounting violates conservation");
       ("dep/sound", "observed cross-task memory dependence not predicted");
       ("dep/reg", "Depend register edges diverge from Regcomm recomputation");
+      ("cost/conserve", "predicted cost shares violate conservation");
     ]
 
 (* --- packed trace audit ----------------------------------------------------- *)
@@ -985,6 +987,65 @@ let check_deps (plan : Core.Partition.plan) trace =
         (Sim.Memflow.observed trace ~instances)));
   List.sort Diag.compare !ds
 
+(* The static half of check_deps, installed behind
+   Core.Partition.validate_deps: the cost-directed search vets every
+   candidate plan with it (candidates have no trace, so dep/sound is
+   covered suite-wide once the refined plan is final). *)
+let check_deps_static (plan : Core.Partition.plan) =
+  let dep = Core.Depend.analyze plan in
+  let ds =
+    Smap.fold
+      (fun fname part acc ->
+        check_deps_func fname
+          (Ir.Prog.find plan.Core.Partition.prog fname)
+          part dep
+        @ acc)
+      plan.Core.Partition.parts []
+  in
+  List.sort Diag.compare ds
+
+let first_error_message ds =
+  match Diag.errors ds with
+  | [] -> Ok ()
+  | d :: rest ->
+    Error
+      (Format.asprintf "%a%s" Diag.pp d
+         (match rest with
+         | [] -> ""
+         | _ -> Printf.sprintf " (and %d more errors)" (List.length rest)))
+
+let validate_plan_deps plan = first_error_message (check_deps_static plan)
+let () = Core.Partition.set_dep_validator validate_plan_deps
+
+(* --- static cost model ------------------------------------------------------ *)
+
+(* cost/conserve: the predicted cycle-account shares form a well-formed
+   distribution, and the whole cost result is stable under re-derivation —
+   Core.Cost.plan_cost recomputes the address analysis, block frequencies,
+   function weights and dependence edges from scratch on every call, so
+   bit-comparing two evaluations exercises the entire derivation chain for
+   determinism (ordered folds only, no hash-order float sums). *)
+let check_cost (plan : Core.Partition.plan) =
+  let a = Core.Cost.plan_cost plan in
+  let b = Core.Cost.plan_cost plan in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  if not (Analysis.Cost.shares_well_formed a.Core.Cost.r_shares) then
+    add
+      (Diag.error ~rule:"cost/conserve" Diag.program_loc
+         "predicted shares are not a well-formed distribution (finite, \
+          non-negative, summing to 1)");
+  if not (Float.is_finite a.Core.Cost.r_scalar && a.Core.Cost.r_scalar >= 0.0)
+  then
+    add
+      (Diag.error ~rule:"cost/conserve" Diag.program_loc
+         "scalar plan cost is not a finite non-negative number");
+  if a <> b then
+    add
+      (Diag.error ~rule:"cost/conserve" Diag.program_loc
+         "plan cost is not stable under re-derivation");
+  List.rev !ds
+
 (* --- rule filtering --------------------------------------------------------- *)
 
 (* Anchored shell-style glob over rule ids: '*' matches any substring. *)
@@ -1026,6 +1087,7 @@ let check_suite ?jobs ?(levels = Core.Heuristics.all_levels) ~store entries =
           check_plan art.Harness.Artifact.plan
           @ check_trace art.Harness.Artifact.trace
           @ check_deps art.Harness.Artifact.plan art.Harness.Artifact.trace
+          @ check_cost art.Harness.Artifact.plan
           @ List.concat_map
               (fun (num_pus, in_order) ->
                 check_account ~num_pus ~in_order

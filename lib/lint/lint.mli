@@ -93,6 +93,22 @@ val check_deps : Core.Partition.plan -> Interp.Trace.t -> Diag.t list
 
     Assumes a structurally valid plan (gate on {!check_plan} first). *)
 
+val check_deps_static : Core.Partition.plan -> Diag.t list
+(** The [dep/reg] half of {!check_deps} alone — no trace required.  This
+    is what {!Core.Partition.validate_deps} delegates to; the
+    cost-directed feedback search runs it on every candidate plan. *)
+
+val validate_plan_deps : Core.Partition.plan -> (unit, string) result
+(** [Ok ()] when {!check_deps_static} reports no errors; same error shape
+    as {!validate_plan}. *)
+
+val check_cost : Core.Partition.plan -> Diag.t list
+(** Static cost-model audit ([cost/conserve]): {!Core.Cost.plan_cost}'s
+    predicted shares must be a well-formed distribution
+    ({!Analysis.Cost.shares_well_formed}), the scalar cost finite and
+    non-negative, and the whole result bit-identical when the cost is
+    re-derived from scratch — determinism of every fold in the chain. *)
+
 val rule_matches : pat:string -> string -> bool
 (** Anchored shell-style glob match over rule ids ([*] matches any
     substring): [rule_matches ~pat:"dep/*" "dep/sound"] is [true]. *)

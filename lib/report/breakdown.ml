@@ -80,6 +80,7 @@ let level_tag = function
   | Core.Heuristics.Control_flow -> "cf"
   | Core.Heuristics.Data_dependence -> "dd"
   | Core.Heuristics.Task_size -> "ts"
+  | Core.Heuristics.Feedback -> "fb"
 
 let category_tag = function
   | Sim.Account.Useful -> "useful"

@@ -8,6 +8,8 @@
 
 type row = {
   dep : Harness.Job.dep;
+  num_pus : int;           (** machine the dynamic shares come from *)
+  in_order : bool;
   data_wait_pct : float;   (** of the machine's cycle budget *)
   mem_squash_pct : float;
 }
@@ -30,6 +32,8 @@ let run ?store ?jobs ?(levels = Core.Heuristics.all_levels) ?(num_pus = 8)
       let acct = stats.Sim.Stats.acct in
       {
         dep;
+        num_pus;
+        in_order;
         data_wait_pct = Sim.Account.pct acct Sim.Account.Data_wait;
         mem_squash_pct = Sim.Account.pct acct Sim.Account.Mem_squash;
       })
@@ -68,7 +72,7 @@ let correlation rows =
       in
       if pts = [] then None
       else Some (level, List.length pts, Harness.Stat.pearson pts))
-    Core.Heuristics.all_levels
+    Core.Heuristics.extended_levels
 
 let pp ppf rows =
   Format.fprintf ppf
@@ -110,6 +114,8 @@ let to_json rows =
                  Harness.Json.Obj
                    (fields
                    @ [
+                       ("num_pus", Harness.Json.Int r.num_pus);
+                       ("in_order", Harness.Json.Bool r.in_order);
                        ("data_wait_pct", Harness.Json.Float r.data_wait_pct);
                        ("mem_squash_pct", Harness.Json.Float r.mem_squash_pct);
                      ])

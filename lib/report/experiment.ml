@@ -25,7 +25,7 @@ let run_level_configs ?params ?store ~level ~configs entry =
         Harness.Artifact.sim store art ~num_pus ~in_order
     | None ->
       let prog = entry.Workloads.Registry.build () in
-      let plan = Core.Partition.build ?params level prog in
+      let plan = Core.Cost.plan_for_level ?params level prog in
       let outcome = Interp.Run.execute plan.Core.Partition.prog in
       let trace = outcome.Interp.Run.trace in
       let prep = Sim.Engine.prepare plan trace in

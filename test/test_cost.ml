@@ -1,0 +1,107 @@
+(* Tests for the static cost model (Analysis.Cost / Core.Cost) and the
+   cost-directed feedback selection level: every fb plan a random program
+   produces must clear the full lint rule set, the static dependence
+   audit and cycle-accounting conservation; the greedy search must never
+   return a higher static cost than its Task_size seed; and the cost
+   export for two small workloads is pinned byte-for-byte. *)
+
+let cfg8 = Sim.Config.default ~num_pus:8 ~in_order:false
+
+(* --- fb plans are valid ----------------------------------------------------- *)
+
+(* The search re-validates every accepted candidate, so an invalid fb plan
+   means either the validator hooks are mis-wired or the search mutated a
+   partition outside them.  Conservation is checked on the simulated
+   machine, exactly like the suite-wide acct/conserve gate. *)
+let prop_fb_valid =
+  QCheck.Test.make ~count:10
+    ~name:"fb plans pass lint, dep/sound, cost/conserve and acct/conserve"
+    Gen.arbitrary_program (fun prog ->
+      let plan = Core.Cost.build prog in
+      (match Lint.validate_plan plan with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "fb plan rejected: %s" msg);
+      let trace =
+        (Interp.Run.execute plan.Core.Partition.prog).Interp.Run.trace
+      in
+      (match Lint.check_deps plan trace with
+      | [] -> ()
+      | d :: _ ->
+        QCheck.Test.fail_reportf "fb dep audit: %s"
+          (Format.asprintf "%a" Lint.Diag.pp d));
+      (match Lint.check_cost plan with
+      | [] -> ()
+      | d :: _ ->
+        QCheck.Test.fail_reportf "fb cost audit: %s"
+          (Format.asprintf "%a" Lint.Diag.pp d));
+      let stats =
+        (Sim.Engine.run_with_trace cfg8 plan trace).Sim.Engine.stats
+      in
+      match Lint.check_account ~num_pus:8 ~in_order:false stats with
+      | [] -> true
+      | d :: _ ->
+        QCheck.Test.fail_reportf "fb account audit: %s"
+          (Format.asprintf "%a" Lint.Diag.pp d))
+
+(* --- the search is monotone ------------------------------------------------- *)
+
+(* Core.Cost.build picks the cheaper of the Task_size and Data_dependence
+   seeds and then only accepts strictly-cheaper boundary moves, so the
+   final scalar can never exceed the Task_size seed's. *)
+let prop_fb_cost_le_seed =
+  QCheck.Test.make ~count:10
+    ~name:"fb static cost never exceeds the ts seed's"
+    Gen.arbitrary_program (fun prog ->
+      let seed =
+        Core.Partition.build Core.Heuristics.Feedback prog
+      in
+      let fb = Core.Cost.build prog in
+      let sc p = (Core.Cost.plan_cost p).Core.Cost.r_scalar in
+      let s_seed = sc seed and s_fb = sc fb in
+      if s_fb > s_seed +. 1e-9 then
+        QCheck.Test.fail_reportf "fb scalar %.6f > seed scalar %.6f" s_fb
+          s_seed
+      else true)
+
+(* --- golden cost exports ---------------------------------------------------- *)
+
+(* Byte-for-byte comparison of the `msc cost --json` export for two small
+   workloads.  Regenerate after an intentional model change with:
+
+     dune exec bin/msc.exe -- cost --only=fpppp --json test/golden/cost_fpppp.json
+     dune exec bin/msc.exe -- cost --only=cc    --json test/golden/cost_cc.json *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden name =
+  let entry = Workloads.Suite.find name in
+  let rows =
+    Report.Cost.run ~store:(Harness.Artifact.create ()) ~jobs:1 [ entry ]
+  in
+  let got = Harness.Json.to_string (Report.Cost.to_json rows) ^ "\n" in
+  let want = read_file (Filename.concat "golden" ("cost_" ^ name ^ ".json")) in
+  if got <> want then
+    Alcotest.failf
+      "cost export for %s diverged from test/golden/cost_%s.json (regenerate \
+       via msc cost --json if the model changed intentionally)"
+      name name
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "feedback",
+        [
+          QCheck_alcotest.to_alcotest prop_fb_valid;
+          QCheck_alcotest.to_alcotest prop_fb_cost_le_seed;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "fpppp cost json" `Slow (fun () ->
+              test_golden "fpppp");
+          Alcotest.test_case "cc cost json" `Slow (fun () -> test_golden "cc");
+        ] );
+    ]

@@ -5,7 +5,7 @@ let () =
       let base = (Interp.Run.execute prog).Interp.Run.result in
       List.iter
         (fun level ->
-          match Core.Partition.build level prog with
+          match Core.Cost.plan_for_level level prog with
           | exception ex ->
             Printf.printf "%-10s %-16s BUILD FAIL: %s\n%!"
               e.Workloads.Registry.name (Core.Heuristics.level_name level)
@@ -39,6 +39,6 @@ let () =
                     (Core.Depend.num_tasks dep)
                     (List.length (Core.Depend.reg_edges dep))
                     (List.length (Core.Depend.mem_edges dep)))))
-        Core.Heuristics.all_levels;
+        Core.Heuristics.extended_levels;
       Printf.printf "%-10s done\n%!" e.Workloads.Registry.name)
     Workloads.Suite.all

@@ -20,6 +20,7 @@
 #
 #   dune build @bench-smoke   # table1 + trace + account sections
 #   dune build @deps-smoke    # static-dependence soundness section
+#   dune build @cost-smoke    # static cost-model quality section
 #   dune build @lint          # static verification of every plan
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,6 +37,7 @@ step tests dune runtest
 step lint dune build @lint
 step bench env HARNESS_JOBS=1 dune exec bench/main.exe -- table1 trace account
 step deps env HARNESS_JOBS=1 dune exec bench/main.exe -- deps
+step cost env HARNESS_JOBS=1 dune exec bench/main.exe -- cost
 
 # belt and braces: re-derive the conservation check from the exported JSON,
 # independently of the bench process that wrote it
@@ -86,8 +88,61 @@ EOF
   fi
 }
 
+# and for the cost export: re-derive the predicted-vs-measured data_wait
+# Pearson from bench/cost.json joined against bench/account.json, fully
+# independently of the OCaml Stat.pearson that computed the shipped value,
+# and re-check the correlation and feedback gates from the raw numbers
+check_cost_json() {
+  grep -q '"cost":' bench/cost.json || {
+    echo "smoke: bench/cost.json missing cost rows" >&2
+    return 1
+  }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json, math, sys
+cost = json.load(open("bench/cost.json"))
+accounts = json.load(open("bench/account.json"))["accounts"]
+meas = {(a["workload"], a["level"]): a["data_wait"] / a["budget"]
+        for a in accounts if a["num_pus"] == 8 and not a["in_order"]}
+def pearson(pts):
+    n = len(pts)
+    mx = sum(x for x, _ in pts) / n
+    my = sum(y for _, y in pts) / n
+    vx = sum((x - mx) ** 2 for x, _ in pts)
+    vy = sum((y - my) ** 2 for _, y in pts)
+    cov = sum((x - mx) * (y - my) for x, y in pts)
+    if vx <= 0 or vy <= 0:
+        sys.exit("smoke: degenerate series in cost join")
+    return cov / math.sqrt(vx * vy)
+shipped = {(c["level"], c["category"]): c["pearson"]
+           for c in cost["correlation"]}
+for level in ["cf", "dd", "ts"]:
+    pts = [(r["pred_data_wait"], meas[(r["workload"], r["level"])])
+           for r in cost["cost"]
+           if r["level"] == level and r["num_pus"] == 8
+           and not r["in_order"] and (r["workload"], r["level"]) in meas]
+    if len(pts) < 2:
+        sys.exit("smoke: too few joined rows at level %s" % level)
+    r = pearson(pts)
+    want = shipped.get((level, "data_wait"))
+    if want is None or abs(r - want) > 1e-6:
+        sys.exit("smoke: %s data_wait pearson mismatch: re-derived %+.6f, "
+                 "shipped %s" % (level, r, want))
+    if r < 0.5:
+        sys.exit("smoke: %s data_wait pearson %+.3f < +0.5" % (level, r))
+geo = {g["level"]: g["geomean"] for g in cost["geomean_ipc"]}
+if not ("fb" in geo and "ts" in geo and geo["fb"] > geo["ts"]):
+    sys.exit("smoke: fb geomean %s does not beat ts geomean %s" %
+             (geo.get("fb"), geo.get("ts")))
+print("smoke: cost model re-verified: data_wait r matches and >= +0.5 at "
+      "cf/dd/ts; fb geomean %.3f > ts %.3f" % (geo["fb"], geo["ts"]))
+EOF
+  fi
+}
+
 step account-json check_account_json
 step deps-json check_deps_json
+step cost-json check_cost_json
 
 # perf gate: the event core must not quietly regress.  Re-time the figure5
 # report and fail fast if it runs more than 10% slower than the committed
@@ -102,17 +157,26 @@ check_perf() {
     >/dev/null
   python3 - <<'EOF'
 import json, sys
-def fig5(path):
+def section(path, name):
     for s in json.load(open(path))["sections"]:
-        if s["section"] == "figure5":
+        if s["section"] == name:
             return s["seconds"]
-    sys.exit("smoke: %s has no figure5 section" % path)
-base = fig5("BENCH_figure5.json")
-now = fig5("/tmp/bench_figure5_now.json")
-if now > base * 1.10:
-    sys.exit("smoke: figure5 perf regression: %.2fs now vs %.2fs baseline "
-             "(>10%% slower)" % (now, base))
-print("smoke: figure5 %.2fs vs %.2fs baseline: within 10%%" % (now, base))
+    return None
+for name in ["figure5", "cost"]:
+    base = section("BENCH_figure5.json", name)
+    if base is None:
+        # older baselines predate the cost section; only figure5 is mandatory
+        if name == "figure5":
+            sys.exit("smoke: BENCH_figure5.json has no figure5 section")
+        print("smoke: baseline has no %s section; skipping" % name)
+        continue
+    now = section("/tmp/bench_figure5_now.json", name)
+    if now is None:
+        sys.exit("smoke: fresh timing has no %s section" % name)
+    if now > base * 1.10:
+        sys.exit("smoke: %s perf regression: %.2fs now vs %.2fs baseline "
+                 "(>10%% slower)" % (name, now, base))
+    print("smoke: %s %.2fs vs %.2fs baseline: within 10%%" % (name, now, base))
 EOF
 }
 
