@@ -694,6 +694,20 @@ let bench_time_cmd =
           Format.fprintf null "%a@."
             Report.Cost.pp (Report.Cost.run ~store ?jobs suite))
     in
+    (* the same figure5 report at full recommended width, so the file
+       records the parallel-vs-serial story of the scheduler on this
+       machine; on a single-core host the serial figure is reused
+       rather than re-measuring an identical configuration *)
+    let par_jobs = Domain.recommended_domain_count () in
+    let figure5_par_s =
+      if par_jobs <= 1 then figure5_s
+      else
+        time_section (fun () ->
+            let store = Harness.Artifact.create () in
+            Format.fprintf null "%a@."
+              Report.Figure5.pp
+              (Report.Figure5.run ~store ~jobs:par_jobs suite))
+    in
     let json =
       Harness.Json.Obj
         [
@@ -725,6 +739,14 @@ let bench_time_cmd =
                     ("section", Harness.Json.String "cost");
                     ("seconds", Harness.Json.Float cost_s);
                   ];
+                Harness.Json.Obj
+                  [
+                    ("section", Harness.Json.String "figure5_parallel");
+                    ("seconds", Harness.Json.Float figure5_par_s);
+                    ("jobs", Harness.Json.Int par_jobs);
+                    ( "speedup_vs_serial",
+                      Harness.Json.Float (figure5_s /. figure5_par_s) );
+                  ];
               ] );
         ]
     in
@@ -733,9 +755,10 @@ let bench_time_cmd =
     output_char oc '\n';
     close_out oc;
     Printf.printf
-      "table1 %.2fs, figure5 %.2fs (%.1fx vs %.1fs seed), cost %.2fs; wrote \
-       %s\n"
-      table1_s figure5_s (seed_seconds /. figure5_s) seed_seconds cost_s out
+      "table1 %.2fs, figure5 %.2fs (%.1fx vs %.1fs seed), cost %.2fs, \
+       figure5[j=%d] %.2fs (%.2fx vs serial); wrote %s\n"
+      table1_s figure5_s (seed_seconds /. figure5_s) seed_seconds cost_s
+      par_jobs figure5_par_s (figure5_s /. figure5_par_s) out
   in
   Cmd.v
     (Cmd.info "bench-time"
@@ -743,6 +766,110 @@ let bench_time_cmd =
          "Wall-clock the table1, figure5 and cost reports and record the \
           timings (with the speedup over the growth-seed core) as JSON")
     Term.(const run $ workloads_filter $ jobs_arg $ out_arg)
+
+(* --- daemon / client ------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix domain socket path of the mscd service." in
+  Arg.(value & opt string "/tmp/mscd.sock"
+       & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let daemon_cmd =
+  let run socket jobs =
+    let srv =
+      try Service.Server.create ?jobs ~socket ()
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "mscd: cannot listen on %s: %s\n" socket
+          (Unix.error_message e);
+        exit 1
+    in
+    let stop _ = Service.Server.request_stop srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Printf.printf "mscd: listening on %s\n%!" socket;
+    Service.Server.serve srv;
+    (* the drained daemon leaves its request metrics on stderr so a
+       supervisor's logs capture the service's lifetime summary *)
+    Printf.eprintf "mscd: drained; final stats:\n%s\n%!"
+      (Harness.Json.to_string ~indent:true (Service.Server.stats_json srv))
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:
+         "Run the persistent mscd simulation service: newline-delimited \
+          JSON requests over a Unix domain socket, request-level dedup, \
+          shared artifact store, work-stealing execution; SIGTERM drains \
+          gracefully")
+    Term.(const run $ socket_arg $ jobs_arg)
+
+let client_cmd =
+  let op_arg =
+    let doc =
+      "Operation: simulate, partition, deps, cost, breakdown, lint, stats \
+       or shutdown."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let workload_arg =
+    let doc = "Workload name (required by per-workload operations)." in
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  in
+  let level_tag_arg =
+    let doc = "Heuristic level tag: bb, cf, dd, ts or fb." in
+    Arg.(value & opt (some string) None
+         & info [ "l"; "level" ] ~docv:"LEVEL" ~doc)
+  in
+  let pus_arg =
+    let doc = "Number of processing units." in
+    Arg.(value & opt int 8 & info [ "p"; "pus" ] ~docv:"N" ~doc)
+  in
+  let in_order_arg =
+    let doc = "In-order processing units." in
+    Arg.(value & flag & info [ "in-order" ] ~doc)
+  in
+  let run socket op workload level pus in_order =
+    let fields =
+      [ ("op", Harness.Json.String op) ]
+      @ (match workload with
+        | Some w -> [ ("workload", Harness.Json.String w) ]
+        | None -> [])
+      @ (match level with
+        | Some l -> [ ("level", Harness.Json.String l) ]
+        | None -> [])
+      @ [
+          ("num_pus", Harness.Json.Int pus);
+          ("in_order", Harness.Json.Bool in_order);
+        ]
+    in
+    match
+      Service.Protocol.parse_request
+        (Harness.Json.to_string ~indent:false (Harness.Json.Obj fields))
+    with
+    | Error msg ->
+      Printf.eprintf "msc client: %s\n" msg;
+      exit 2
+    | Ok { Service.Protocol.op; _ } -> (
+      let c =
+        try Service.Client.connect ~socket
+        with Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "msc client: cannot connect to %s: %s\n" socket
+            (Unix.error_message e);
+          exit 1
+      in
+      let r = Service.Client.request c op in
+      Service.Client.close c;
+      match r with
+      | Ok json -> print_endline (Harness.Json.to_string ~indent:true json)
+      | Error msg ->
+        Printf.eprintf "msc client: %s\n" msg;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running mscd service and print the response")
+    Term.(const run $ socket_arg $ op_arg $ workload_arg $ level_tag_arg
+          $ pus_arg $ in_order_arg)
 
 let main =
   let info =
@@ -755,6 +882,7 @@ let main =
       cost_cmd; trace_stats_cmd; table1_cmd; figure5_cmd; bench_time_cmd;
       run_file_cmd;
       export_cmd; dot_cmd; superscalar_cmd; timeline_cmd;
+      daemon_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -21,15 +21,29 @@ type artifact = {
   trace : Interp.Trace.t;
 }
 
-(* A memoized value is either in flight on some domain or landed; waiters
-   block on the store's condition variable until it lands.  Failures are
-   cached too, so every requester of a key sees the same exception instead
-   of re-running a computation that cannot succeed. *)
-type 'a cell = Pending | Ready of 'a | Failed of exn
+(* Exactly-once memoization under work stealing: each key owns a cell
+   with its own mutex/condvar.  The store mutex only guards table
+   lookup-or-insert, so the winner of a key races nobody while it
+   computes and a landing broadcasts only to waiters of that key —
+   not, as the old single store-wide condvar did, to every waiter of
+   every key.  Failures are cached too, so every requester of a key
+   sees the same exception instead of re-running a computation that
+   cannot succeed.
+
+   Deadlock-freedom: the only cross-key waits go get -> prep -> sim
+   (never backwards), so the wait graph is acyclic; and a cell is
+   In_flight only while some domain is actively inside [compute] — a
+   waiter never waits on work that is queued but unowned. *)
+type 'a cell = {
+  cmu : Mutex.t;
+  ccond : Condition.t;
+  mutable cst : 'a outcome;  (* guarded by [cmu] *)
+}
+
+and 'a outcome = In_flight | Landed of 'a | Crashed of exn
 
 type t = {
   mu : Mutex.t;
-  landed : Condition.t;
   pipeline : (key, artifact cell) Hashtbl.t;
   (* configuration-independent Sim.Engine.prep per pipeline artifact,
      shared by every machine configuration simulated against it *)
@@ -41,7 +55,6 @@ type t = {
 let create () =
   {
     mu = Mutex.create ();
-    landed = Condition.create ();
     pipeline = Hashtbl.create 64;
     preps = Hashtbl.create 64;
     sims = Hashtbl.create 256;
@@ -50,30 +63,46 @@ let create () =
 
 let memo t tbl key ?(on_miss = fun () -> ()) compute =
   Mutex.lock t.mu;
-  let rec await () =
+  let cell, owner =
     match Hashtbl.find_opt tbl key with
-    | Some (Ready v) ->
-      Mutex.unlock t.mu;
-      v
-    | Some (Failed e) ->
-      Mutex.unlock t.mu;
-      raise e
-    | Some Pending ->
-      Condition.wait t.landed t.mu;
-      await ()
+    | Some c -> (c, false)
     | None ->
-      Hashtbl.replace tbl key Pending;
+      let c =
+        { cmu = Mutex.create (); ccond = Condition.create ();
+          cst = In_flight }
+      in
+      Hashtbl.replace tbl key c;
       on_miss ();
-      Mutex.unlock t.mu;
-      let outcome = try Ok (compute ()) with e -> Error e in
-      Mutex.lock t.mu;
-      Hashtbl.replace tbl key
-        (match outcome with Ok v -> Ready v | Error e -> Failed e);
-      Condition.broadcast t.landed;
-      Mutex.unlock t.mu;
-      (match outcome with Ok v -> v | Error e -> raise e)
+      (c, true)
   in
-  await ()
+  Mutex.unlock t.mu;
+  if owner then begin
+    let outcome = try Landed (compute ()) with e -> Crashed e in
+    Mutex.lock cell.cmu;
+    cell.cst <- outcome;
+    Condition.broadcast cell.ccond;
+    Mutex.unlock cell.cmu;
+    match outcome with
+    | Landed v -> v
+    | Crashed e -> raise e
+    | In_flight -> assert false
+  end
+  else begin
+    Mutex.lock cell.cmu;
+    let rec settle () =
+      match cell.cst with
+      | In_flight ->
+        Condition.wait cell.ccond cell.cmu;
+        settle ()
+      | Landed v ->
+        Mutex.unlock cell.cmu;
+        v
+      | Crashed e ->
+        Mutex.unlock cell.cmu;
+        raise e
+    in
+    settle ()
+  end
 
 let get t ?(params = Core.Heuristics.default) ?(profile_alt = false)
     ?(variant = base_variant) ~level (entry : Workloads.Registry.entry) =
@@ -121,14 +150,21 @@ let level_index level =
   in
   go 0 Core.Heuristics.extended_levels
 
+(* snapshot of a cell's outcome; locks only that cell *)
+let peek cell =
+  Mutex.lock cell.cmu;
+  let st = cell.cst in
+  Mutex.unlock cell.cmu;
+  st
+
 let traces t =
   Mutex.lock t.mu;
   let landed =
     Hashtbl.fold
       (fun key cell acc ->
-        match cell with
-        | Ready art -> (key, art.trace) :: acc
-        | Pending | Failed _ -> acc)
+        match peek cell with
+        | Landed art -> (key, art.trace) :: acc
+        | In_flight | Crashed _ -> acc)
       t.pipeline []
   in
   Mutex.unlock t.mu;
@@ -151,9 +187,9 @@ let sim_results t =
   let landed =
     Hashtbl.fold
       (fun (key, num_pus, in_order) cell acc ->
-        match cell with
-        | Ready stats -> (key, (num_pus, in_order), stats) :: acc
-        | Pending | Failed _ -> acc)
+        match peek cell with
+        | Landed stats -> (key, (num_pus, in_order), stats) :: acc
+        | In_flight | Crashed _ -> acc)
       t.sims []
   in
   Mutex.unlock t.mu;

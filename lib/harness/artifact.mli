@@ -9,10 +9,12 @@
     instead of once per section.
 
     The store is domain-safe: it is the synchronisation point for
-    {!Pool}-parallel jobs.  A key being computed is marked in-flight; other
-    domains asking for it block on a condition variable until the result
-    lands, so concurrent requests never duplicate work.  Repeated [get]s
-    return the physically same plan and trace.
+    {!Pool}-parallel jobs.  Each key owns a private in-flight cell with
+    its own mutex and condition variable; the first requester computes,
+    later requesters block on that key's cell (not on a store-wide
+    condvar) until the result lands, so concurrent requests never
+    duplicate work and a landing never wakes waiters of unrelated keys.
+    Repeated [get]s return the physically same plan and trace.
 
     On top of the pipeline artifacts the store also memoizes simulation
     statistics for {!Sim.Config.default} machine configurations (keyed by

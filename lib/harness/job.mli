@@ -45,6 +45,17 @@ val run : ?jobs:int -> Artifact.t -> spec list -> result list
 val result_of_stats :
   spec -> kind:Workloads.Registry.kind -> Sim.Stats.t -> result
 
+val level_tag : Core.Heuristics.level -> string
+(** Stable wire tag of a heuristic level ([bb]/[cf]/[dd]/[ts]/[fb]) —
+    the encoding used by every JSON export and the service protocol. *)
+
+val level_of_tag : string -> (Core.Heuristics.level, string) Stdlib.result
+(** Inverse of {!level_tag}; [Error] names the unknown tag. *)
+
+val result_to_json : result -> Json.t
+(** One result as the object {!to_json} emits per element — the payload
+    shape shared by the JSON export and the service protocol. *)
+
 val results_of_store : Artifact.t -> result list
 (** The canonical perf trajectory recorded in a store: every memoized
     default-machine simulation whose pipeline used default parameters, the

@@ -1,42 +1,79 @@
-(* One domain per recommended core, never more: spawning extra domains on
-   a machine the runtime reports as single-core costs ~2x wall time to
-   minor-GC synchronisation between the oversubscribed domains. *)
 let default_jobs () =
+  let recommended = Domain.recommended_domain_count () in
   match Sys.getenv_opt "HARNESS_JOBS" with
+  | None -> recommended
+  | Some s when String.trim s = "" ->
+    (* `HARNESS_JOBS= cmd` idiom: blank means unset *)
+    recommended
   | Some s ->
     (match int_of_string_opt (String.trim s) with
-     | Some j when j >= 1 -> j
-     | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+     | Some j when j >= 1 ->
+       (* one domain per recommended core, never more: oversubscription
+          costs ~2x wall time in minor-GC synchronisation *)
+       min j recommended
+     | Some j ->
+       failwith
+         (Printf.sprintf
+            "HARNESS_JOBS must be a positive integer, got %d" j)
+     | None ->
+       failwith
+         (Printf.sprintf
+            "HARNESS_JOBS must be a positive integer, got %S" s))
+
+(* Resident scheduler per requested width, created lazily and reused
+   across calls; at_exit unwinds them so parked worker domains cannot
+   outlive the main domain. *)
+let scheds : (int, Sched.t) Hashtbl.t = Hashtbl.create 4
+let scheds_mu = Mutex.create ()
+let cleanup_registered = ref false
+
+let scheduler ~jobs =
+  if jobs < 2 then invalid_arg "Pool.scheduler: jobs must be >= 2";
+  Mutex.lock scheds_mu;
+  let t =
+    match Hashtbl.find_opt scheds jobs with
+    | Some t -> t
+    | None ->
+      let t = Sched.create ~domains:jobs () in
+      Hashtbl.replace scheds jobs t;
+      if not !cleanup_registered then begin
+        cleanup_registered := true;
+        at_exit (fun () ->
+            Mutex.lock scheds_mu;
+            let all = Hashtbl.fold (fun _ t acc -> t :: acc) scheds [] in
+            Hashtbl.reset scheds;
+            Mutex.unlock scheds_mu;
+            List.iter Sched.shutdown all)
+      end;
+      t
+  in
+  Mutex.unlock scheds_mu;
+  t
+
+(* The scheduler this call should run on: when the caller is already a
+   scheduler worker, nested fan-outs go back into the same scheduler
+   (its deques, its width) instead of spawning a second pool. *)
+let enclosing () =
+  Mutex.lock scheds_mu;
+  let found =
+    Hashtbl.fold
+      (fun _ t acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if Sched.on_worker t then Some t else None)
+      scheds None
+  in
+  Mutex.unlock scheds_mu;
+  found
 
 let map ?jobs f xs =
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let items = Array.of_list xs in
-  let n = Array.length items in
-  if jobs <= 1 || n <= 1 then List.map f xs
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n && Atomic.get failure = None then begin
-        (match f items.(i) with
-         | v -> results.(i) <- Some v
-         | exception e ->
-           ignore (Atomic.compare_and_set failure None (Some e)));
-        worker ()
-      end
-    in
-    let domains =
-      Array.init (min jobs n) (fun _ -> Domain.spawn worker)
-    in
-    Array.iter Domain.join domains;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
-    Array.to_list
-      (Array.map
-         (function Some v -> v | None -> invalid_arg "Pool.map: lost result")
-         results)
-  end
+  match enclosing () with
+  | Some t -> Sched.map t f xs
+  | None ->
+    let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    (match xs with
+     | [] | [ _ ] -> List.map f xs
+     | _ when jobs <= 1 -> List.map f xs
+     | _ -> Sched.map (scheduler ~jobs) f xs)
 
 let iter ?jobs f xs = ignore (map ?jobs f xs)

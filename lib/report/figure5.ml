@@ -17,9 +17,13 @@ let levels = Core.Heuristics.all_levels
 let run ?params ?store ?jobs entries =
   Harness.Pool.map ?jobs
     (fun entry ->
+      (* nested fan-out: each (entry, level) is an independent pipeline +
+         four simulations, so the inner map exposes entries x levels
+         tasks to the scheduler — a worker that finishes its entry's
+         levels steals another entry's instead of idling *)
       let ipc =
         Array.of_list
-          (List.map
+          (Harness.Pool.map ?jobs
              (fun level ->
                let results =
                  Experiment.run_level_configs ?params ?store ~level ~configs

@@ -55,13 +55,25 @@ let run ?params ?store ?jobs entries =
         in
         cols_of_stats r.Experiment.stats ~num_pus
       in
-      {
-        workload = entry.Workloads.Registry.name;
-        kind = entry.Workloads.Registry.kind;
-        bb = one Core.Heuristics.Basic_block;
-        cf = one Core.Heuristics.Control_flow;
-        dd = one Core.Heuristics.Data_dependence;
-      })
+      (* nested fan-out: the three levels are independent pipelines, so
+         expose them as stealable subtasks of this entry's task *)
+      match
+        Harness.Pool.map ?jobs one
+          [
+            Core.Heuristics.Basic_block;
+            Core.Heuristics.Control_flow;
+            Core.Heuristics.Data_dependence;
+          ]
+      with
+      | [ bb; cf; dd ] ->
+        {
+          workload = entry.Workloads.Registry.name;
+          kind = entry.Workloads.Registry.kind;
+          bb;
+          cf;
+          dd;
+        }
+      | _ -> assert false)
     entries
 
 let pp ppf rows =

@@ -1,0 +1,102 @@
+(* Chase–Lev work-stealing deque on OCaml 5 seq-cst atomics.
+
+   Invariants: [top <= bottom] except transiently inside [pop]; element
+   [i] lives at slot [i land (Array.length arr - 1)] of the array
+   version current when it was pushed; arrays are never written after
+   being replaced by [grow], so a stale reader sees frozen (correct)
+   contents for every index it can validate by CAS on [top].
+
+   Safety of the plain slot accesses: a slot write is published either
+   by the owner's subsequent [Atomic.set bottom] (push) or by the
+   owner's [Atomic.set tab] (grow); a thief reads the slot only after
+   reading [top], [bottom] and [tab] in that order, and returns it only
+   if [compare_and_set top] succeeds afterwards — the classic
+   store-buffering argument then rules out reading a slot the owner has
+   reclaimed or not yet published (see deque.mli). *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  tab : 'a array Atomic.t;
+  dummy : 'a;
+}
+
+let create ?(capacity = 256) ~dummy () =
+  let cap = max 2 capacity in
+  (* round up to a power of two so [land] masking works *)
+  let cap =
+    let rec up n = if n >= cap then n else up (n * 2) in
+    up 2
+  in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    tab = Atomic.make (Array.make cap dummy);
+    dummy;
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* owner only: double the array, copying live elements to their slot in
+   the new modulus, then publish the new array *)
+let grow t ~bottom ~top arr =
+  let n = Array.length arr in
+  let arr' = Array.make (2 * n) t.dummy in
+  for i = top to bottom - 1 do
+    arr'.(i land ((2 * n) - 1)) <- arr.(i land (n - 1))
+  done;
+  Atomic.set t.tab arr'
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let arr = Atomic.get t.tab in
+  let arr =
+    if b - tp >= Array.length arr then begin
+      grow t ~bottom:b ~top:tp arr;
+      Atomic.get t.tab
+    end
+    else arr
+  in
+  arr.(b land (Array.length arr - 1)) <- v;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* empty: restore bottom *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let arr = Atomic.get t.tab in
+    let i = b land (Array.length arr - 1) in
+    let v = arr.(i) in
+    if b > tp then begin
+      (* more than one element: thieves cannot reach index b *)
+      arr.(i) <- t.dummy;
+      Some v
+    end
+    else begin
+      (* last element: race thieves via CAS on top *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        arr.(i) <- t.dummy;
+        Some v
+      end
+      else None
+    end
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let arr = Atomic.get t.tab in
+    let v = arr.(tp land (Array.length arr - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Some v else None
+  end

@@ -1,0 +1,41 @@
+(** Lock-free single-owner work-stealing deque (Chase–Lev).
+
+    One domain — the {e owner} — pushes and pops at the bottom in LIFO
+    order; any other domain steals from the top in FIFO order.  This is
+    the per-worker run queue of {!Sched}: LIFO owner access keeps a
+    worker on the cache-warm subtasks it just spawned, FIFO steals hand
+    thieves the oldest (largest-granularity) work.
+
+    The implementation is the ARM-portable formulation of Chase–Lev
+    (Lê, Pop, Cohen, Zappa Nardelli, PPoPP 2013) on OCaml 5's
+    sequentially-consistent atomics: [top], [bottom] and the element
+    array pointer are {!Atomic.t}, element slots are plain and published
+    by the atomic [bottom]/array writes.  The array grows by doubling
+    under owner control; stale readers are safe because a steal
+    validates [top] by CAS {e after} reading its slot, and the
+    top→bottom→array read order makes a successful CAS imply the slot
+    belonged to the array version read.
+
+    All operations are obstruction-free; [steal] returns [None] both on
+    emptiness and on losing a race, so callers simply move to the next
+    victim. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [capacity] (default 256) is the initial power-of-two slot count;
+    [dummy] fills empty slots so popped closures don't leak through the
+    array. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: push at the bottom, growing the array when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: pop the most recently pushed element (LIFO). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the oldest element (FIFO).  [None] when empty or
+    when another thief won the race — retry elsewhere. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the element count (metrics / emptiness hints). *)

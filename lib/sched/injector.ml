@@ -1,0 +1,62 @@
+(* Michael–Scott two-pointer queue on OCaml 5 atomics.  The queue always
+   holds one sentinel node; [head] points at the sentinel, the first
+   element lives in [head.next].  Values are cleared on dequeue so the
+   queue never retains dead closures. *)
+
+type 'a node = {
+  mutable value : 'a option;
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  head : 'a node Atomic.t;
+  tail : 'a node Atomic.t;
+  count : int Atomic.t;
+}
+
+let create () =
+  let sentinel = { value = None; next = Atomic.make None } in
+  {
+    head = Atomic.make sentinel;
+    tail = Atomic.make sentinel;
+    count = Atomic.make 0;
+  }
+
+let push t v =
+  let n = { value = Some v; next = Atomic.make None } in
+  let rec go () =
+    let tl = Atomic.get t.tail in
+    match Atomic.get tl.next with
+    | None ->
+      if Atomic.compare_and_set tl.next None (Some n) then begin
+        (* best-effort tail swing; a failure means someone helped *)
+        ignore (Atomic.compare_and_set t.tail tl n);
+        Atomic.incr t.count
+      end
+      else go ()
+    | Some nx ->
+      (* tail is lagging: help it forward, then retry *)
+      ignore (Atomic.compare_and_set t.tail tl nx);
+      go ()
+  in
+  go ()
+
+let pop t =
+  let rec go () =
+    let hd = Atomic.get t.head in
+    match Atomic.get hd.next with
+    | None -> None
+    | Some nx ->
+      if Atomic.compare_and_set t.head hd nx then begin
+        let v = nx.value in
+        nx.value <- None;
+        Atomic.decr t.count;
+        v
+      end
+      else go ()
+  in
+  go ()
+
+let is_empty t = Atomic.get (Atomic.get t.head).next = None
+
+let size t = max 0 (Atomic.get t.count)

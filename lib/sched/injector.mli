@@ -1,0 +1,23 @@
+(** Lock-free multi-producer multi-consumer FIFO queue (Michael–Scott).
+
+    The {!Sched} injection point for work submitted from outside the
+    worker pool: any thread or domain may [push], any worker may [pop].
+    External submissions land here and are drained by workers alongside
+    steals, so a resident scheduler can accept traffic from arbitrary
+    client threads without a global lock. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue at the tail.  Lock-free; helps lagging enqueuers swing the
+    tail pointer forward. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue from the head; [None] when empty. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Racy element-count snapshot (metrics only); never negative. *)

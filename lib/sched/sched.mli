@@ -1,0 +1,94 @@
+(** Work-stealing multicore scheduler for OCaml 5 domains.
+
+    A scheduler owns [domains] worker domains.  Each worker has a
+    private {!Deque} (LIFO owner access, FIFO steals); external threads
+    submit through a lock-free MPMC {!Injector}.  An idle worker pops
+    its own deque, then drains the injector, then steals from the other
+    workers in randomized order; after an exponential spin backoff it
+    parks on a condition variable until new work is submitted.
+
+    Submissions return {e futures}.  [await] from an external thread
+    blocks on the future's condition variable; [await] from a worker of
+    the same scheduler {e helps} — it keeps executing queued tasks while
+    the future is unresolved, so nested fan-outs ([map] inside a task)
+    never deadlock and never idle a core that still has runnable work.
+
+    The scheduler is long-lived by design: create it once, feed it
+    heterogeneous tasks forever, [shutdown] joins the domains.  Queued
+    but unstarted tasks are dropped at shutdown — drain by awaiting your
+    futures first. *)
+
+module Deque = Deque
+(** Re-export: the per-worker run queue (the library's entry module
+    hides its siblings, so this is the public path to {!Deque}). *)
+
+module Injector = Injector
+(** Re-export: the external-submission queue. *)
+
+exception Cancelled
+(** Raised by [await] on a future whose {!Token.t} was cancelled before
+    the task started running. *)
+
+module Token : sig
+  type t
+  (** Cooperative cancellation token shared by any number of tasks. *)
+
+  val create : unit -> t
+  val cancel : t -> unit
+
+  val cancelled : t -> bool
+  (** Long-running task bodies may poll this to stop early. *)
+end
+
+type t
+
+type 'a future
+
+type stats = {
+  tasks : int;     (** tasks executed to completion *)
+  steals : int;    (** successful steals between workers *)
+  injected : int;  (** submissions that arrived through the injector *)
+  local : int;     (** submissions pushed to a worker's own deque *)
+  parks : int;     (** times a worker parked after exhausting backoff *)
+}
+
+val create : domains:int -> unit -> t
+(** Spawn [domains] (>= 1) worker domains, all initially parked. *)
+
+val domains : t -> int
+
+val submit : ?token:Token.t -> t -> (unit -> 'a) -> 'a future
+(** Schedule [f].  From a worker of [t] the task goes to that worker's
+    own deque (depth-first, stealable); from anywhere else it goes to
+    the injector.  If [token] is cancelled before the task starts, the
+    future fails with {!Cancelled} without running [f]. *)
+
+val await : 'a future -> 'a
+(** Wait for resolution; re-raises the task's exception.  On a worker
+    of the owning scheduler this executes other queued tasks while
+    waiting (structured join). *)
+
+val peek : 'a future -> [ `Pending | `Done | `Failed ]
+(** Non-blocking state snapshot. *)
+
+val map : ?token:Token.t -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** Structured fan-out: one task per element, results in input order.
+    All tasks run to completion even if some fail; the lowest-index
+    exception is then re-raised.  Callable from external threads and
+    from inside tasks alike. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [await (submit t f)]. *)
+
+val shutdown : t -> unit
+(** Stop the workers and join their domains.  Queued unstarted tasks
+    are dropped; in-flight tasks finish first.  Idempotent. *)
+
+val stats : t -> stats
+
+val queue_depth : t -> int
+(** Racy snapshot of queued-but-unstarted tasks (injector + deques). *)
+
+val on_worker : t -> bool
+(** Is the calling domain one of [t]'s workers?  (Used by facades to
+    route nested fan-outs back into the same scheduler.) *)

@@ -1,0 +1,42 @@
+module Json = Harness.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request t ?(id = Json.Null) op =
+  let line =
+    match Protocol.op_to_json op with
+    | Json.Obj fields -> Json.to_string ~indent:false (Json.Obj (("id", id) :: fields))
+    | _ -> assert false
+  in
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | resp -> (
+    match Json.parse resp with
+    | Error msg -> Error (Printf.sprintf "malformed response: %s" msg)
+    | Ok json -> (
+      match Json.member "ok" json with
+      | Some (Json.Bool true) -> Ok json
+      | Some (Json.Bool false) -> (
+        match Json.member "error" json with
+        | Some (Json.String msg) -> Error msg
+        | _ -> Error "request failed")
+      | _ -> Error "malformed response: missing \"ok\""))
+
+let close t =
+  (* close_in closes the underlying fd; the out channel shares it *)
+  try close_in t.ic with Sys_error _ -> ()

@@ -1,0 +1,15 @@
+(** Blocking client for the {!Protocol} wire format, shared by
+    [msc client], the load generator and the service tests. *)
+
+type t
+
+val connect : socket:string -> t
+(** Raises [Unix.Unix_error] when the daemon is not listening. *)
+
+val request : t -> ?id:Harness.Json.t -> Protocol.op -> (Harness.Json.t, string) result
+(** Send one operation and block for its response line.  [Ok] holds the
+    full decoded response object ([ok]/[dedup]/[micros]/[result] fields
+    included); [Error] carries the server's [error] string, a transport
+    failure, or a malformed response. *)
+
+val close : t -> unit

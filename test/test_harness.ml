@@ -74,13 +74,39 @@ let test_pool_error_propagates () =
            [ 1; 2; 3; 4 ]))
 
 let test_pool_default_jobs () =
-  match Sys.getenv_opt "HARNESS_JOBS" with
+  (match Sys.getenv_opt "HARNESS_JOBS" with
   | Some _ -> checkb "positive" true (Harness.Pool.default_jobs () >= 1)
   | None ->
     (* match the machine: oversubscribing a single core with extra domains
        only adds minor-GC synchronisation overhead *)
     checkb "defaults to the domain count" true
-      (Harness.Pool.default_jobs () = Domain.recommended_domain_count ())
+      (Harness.Pool.default_jobs () = Domain.recommended_domain_count ()));
+  (* the env override is clamped and validated; restore the variable
+     afterwards so this test cannot change its siblings' width *)
+  let saved = Sys.getenv_opt "HARNESS_JOBS" in
+  let restore () =
+    match saved with
+    | Some v -> Unix.putenv "HARNESS_JOBS" v
+    | None -> Unix.putenv "HARNESS_JOBS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      let recommended = Domain.recommended_domain_count () in
+      Unix.putenv "HARNESS_JOBS" "1";
+      checki "explicit 1" 1 (Harness.Pool.default_jobs ());
+      Unix.putenv "HARNESS_JOBS" (string_of_int (recommended + 7));
+      checki "clamped to recommended" recommended (Harness.Pool.default_jobs ());
+      let rejects v =
+        Unix.putenv "HARNESS_JOBS" v;
+        match Harness.Pool.default_jobs () with
+        | _ -> checkb (Printf.sprintf "rejects %S" v) true false
+        | exception Failure _ -> ()
+      in
+      rejects "0";
+      rejects "-3";
+      rejects "three";
+      (* blank means unset (the `HARNESS_JOBS= cmd` idiom) *)
+      Unix.putenv "HARNESS_JOBS" "";
+      checki "blank falls back" recommended (Harness.Pool.default_jobs ()))
 
 (* --- Artifact store -------------------------------------------------------- *)
 

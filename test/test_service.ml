@@ -1,0 +1,182 @@
+(* In-process mscd service: protocol round-trips, request dedup, stats
+   and graceful drain, over a real Unix domain socket with the server
+   accept loop on a systhread. *)
+
+module Json = Harness.Json
+module P = Service.Protocol
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let temp_socket () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mscd-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  path
+
+(* --- protocol (no server needed) ------------------------------------- *)
+
+let test_protocol_parse () =
+  (match
+     P.parse_request
+       {|{"id": 7, "op": "simulate", "workload": "compress", "level": "ts"}|}
+   with
+  | Ok { P.id = Json.Int 7; op = P.Simulate s } ->
+    checkb "workload" true (s.workload = "compress");
+    checkb "level" true (s.level = Core.Heuristics.Task_size);
+    checki "default pus" 8 s.num_pus;
+    checkb "default issue" false s.in_order
+  | _ -> Alcotest.fail "simulate did not parse");
+  (match P.parse_request {|{"op": "stats"}|} with
+  | Ok { P.id = Json.Null; op = P.Stats } -> ()
+  | _ -> Alcotest.fail "stats did not parse");
+  let is_error s =
+    match P.parse_request s with Error _ -> true | Ok _ -> false
+  in
+  checkb "unknown op rejected" true (is_error {|{"op": "frobnicate"}|});
+  checkb "unknown level rejected" true
+    (is_error {|{"op": "deps", "workload": "li", "level": "zz"}|});
+  checkb "missing workload rejected" true
+    (is_error {|{"op": "cost", "level": "ts"}|});
+  checkb "garbage rejected" true (is_error "not json")
+
+let test_protocol_key () =
+  let sim w =
+    P.Simulate
+      { workload = w; level = Core.Heuristics.Task_size; num_pus = 8;
+        in_order = false }
+  in
+  checkb "equal ops share a key" true (P.key (sim "li") = P.key (sim "li"));
+  checkb "different ops differ" true (P.key (sim "li") <> P.key (sim "go"));
+  checkb "stats uncached" true (P.key P.Stats = None);
+  checkb "shutdown uncached" true (P.key P.Shutdown = None)
+
+(* --- live server ------------------------------------------------------ *)
+
+let with_server f =
+  let socket = temp_socket () in
+  let srv = Service.Server.create ~jobs:2 ~socket () in
+  let th = Thread.create (fun () -> Service.Server.serve srv) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Server.request_stop srv;
+      Thread.join th;
+      (try Unix.unlink socket with Unix.Unix_error _ -> ()))
+    (fun () -> f ~socket srv)
+
+let field name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "response missing %S" name)
+
+let test_service_simulate_and_dedup () =
+  with_server (fun ~socket srv ->
+      let c = Service.Client.connect ~socket in
+      let op =
+        P.Simulate
+          { workload = "compress"; level = Core.Heuristics.Task_size;
+            num_pus = 8; in_order = false }
+      in
+      (match Service.Client.request c ~id:(Json.Int 1) op with
+      | Error msg -> Alcotest.fail msg
+      | Ok resp ->
+        checkb "id echoed" true (field "id" resp = Json.Int 1);
+        checkb "first is a miss" true (field "dedup" resp = Json.Bool false);
+        let result = field "result" resp in
+        checkb "ipc present" true
+          (match Json.member "ipc" result with
+          | Some (Json.Float f) -> f > 0.0
+          | _ -> false));
+      (* same op again, same connection: served from the dedup cache *)
+      (match Service.Client.request c ~id:(Json.Int 2) op with
+      | Error msg -> Alcotest.fail msg
+      | Ok resp ->
+        checkb "second is a hit" true (field "dedup" resp = Json.Bool true));
+      (* a second connection hits the same cache *)
+      let c2 = Service.Client.connect ~socket in
+      (match Service.Client.request c2 op with
+      | Error msg -> Alcotest.fail msg
+      | Ok resp ->
+        checkb "cross-connection hit" true (field "dedup" resp = Json.Bool true));
+      Service.Client.close c2;
+      (* errors are structured, not connection-fatal *)
+      (match
+         Service.Client.request c
+           (P.Simulate
+              { workload = "nonesuch"; level = Core.Heuristics.Task_size;
+                num_pus = 8; in_order = false })
+       with
+      | Error msg ->
+        let contains ~sub s =
+          let n = String.length sub and m = String.length s in
+          let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        checkb "unknown workload named" true (contains ~sub:"nonesuch" msg)
+      | Ok _ -> Alcotest.fail "unknown workload accepted");
+      (* the connection survived the error *)
+      (match Service.Client.request c op with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail msg);
+      Service.Client.close c;
+      ignore srv)
+
+let test_service_stats_and_drain () =
+  with_server (fun ~socket srv ->
+      let c = Service.Client.connect ~socket in
+      let op =
+        P.Deps { workload = "compress"; level = Core.Heuristics.Control_flow }
+      in
+      (match Service.Client.request c op with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail msg);
+      (match Service.Client.request c op with
+      | Ok resp -> checkb "dedup hit" true (field "dedup" resp = Json.Bool true)
+      | Error msg -> Alcotest.fail msg);
+      (match Service.Client.request c P.Stats with
+      | Error msg -> Alcotest.fail msg
+      | Ok resp ->
+        let stats = field "result" resp in
+        (match field "requests" stats with
+        | Json.Int n -> checkb "requests counted" true (n >= 2)
+        | _ -> Alcotest.fail "requests not an int");
+        checkb "dedup hits counted" true
+          (match field "dedup_hits" stats with
+          | Json.Int n -> n >= 1
+          | _ -> false);
+        checkb "latency histogram present" true
+          (match Json.member "p99" (field "latency" stats) with
+          | Some (Json.Float _) -> true
+          | _ -> false));
+      (* shutdown op drains the server; serve returns and the socket dies *)
+      (match Service.Client.request c P.Shutdown with
+      | Ok resp ->
+        checkb "draining acknowledged" true
+          (field "result" resp = Json.Obj [ ("draining", Json.Bool true) ])
+      | Error msg -> Alcotest.fail msg);
+      Service.Client.close c;
+      (* stats_json stays readable after drain *)
+      let final = Service.Server.stats_json srv in
+      checkb "final stats readable" true
+        (match Json.member "requests" final with
+        | Some (Json.Int n) -> n >= 3
+        | _ -> false))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "dedup keys" `Quick test_protocol_key;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "simulate + dedup" `Slow
+            test_service_simulate_and_dedup;
+          Alcotest.test_case "stats + drain" `Slow test_service_stats_and_drain;
+        ] );
+    ]

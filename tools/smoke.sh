@@ -144,6 +144,70 @@ step account-json check_account_json
 step deps-json check_deps_json
 step cost-json check_cost_json
 
+# service smoke: boot the mscd daemon on a throwaway socket, drive it with
+# the deterministic load generator, verify the run from the machine-readable
+# report (zero errors, dedup observed, tail latency present), then check the
+# SIGTERM drain path exits cleanly
+check_service() {
+  local sock report daemon_log pid
+  sock=$(mktemp -u /tmp/mscd-smoke-XXXXXX.sock)
+  report=/tmp/mscd_smoke_loadgen.json
+  daemon_log=/tmp/mscd_smoke_daemon.log
+  dune exec bin/msc.exe -- daemon --socket "$sock" >"$daemon_log" 2>&1 &
+  pid=$!
+  local i=0
+  until [ -S "$sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$pid" 2>/dev/null; then
+      echo "smoke: mscd did not come up on $sock" >&2
+      cat "$daemon_log" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  if ! dune exec tools/loadgen.exe -- --socket "$sock" -n 600 -c 8 \
+      --seed 42 --json "$report"; then
+    echo "smoke: loadgen reported request failures" >&2
+    kill -TERM "$pid" 2>/dev/null || true
+    return 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$report" <<'EOF' || { kill -TERM "$pid" 2>/dev/null || true; return 1; }
+import json, sys
+r = json.load(open(sys.argv[1]))
+if r["requests"] < 500:
+    sys.exit("smoke: loadgen sent only %d requests (< 500)" % r["requests"])
+if r["errors"] != 0:
+    sys.exit("smoke: service returned %d errors" % r["errors"])
+server = r["server"]
+if not isinstance(server, dict) or server.get("dedup_hits", 0) <= 0:
+    sys.exit("smoke: no server-side dedup hits on a repeating key space")
+lat = r["latency"]
+for q in ("p50", "p99"):
+    if not isinstance(lat.get(q), (int, float)) or lat[q] <= 0:
+        sys.exit("smoke: loadgen latency report missing %s" % q)
+print("smoke: service served %d requests, 0 errors, %d dedup hits, "
+      "p50 %.0fus p99 %.0fus" %
+      (r["requests"], server["dedup_hits"], lat["p50"], lat["p99"]))
+EOF
+  fi
+  kill -TERM "$pid"
+  local rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "smoke: mscd SIGTERM drain exited $rc (want 0)" >&2
+    cat "$daemon_log" >&2
+    return 1
+  fi
+  if [ -S "$sock" ]; then
+    echo "smoke: mscd left its socket behind after drain" >&2
+    return 1
+  fi
+  echo "smoke: mscd drained cleanly on SIGTERM"
+}
+
+step service check_service
+
 # perf gate: the event core must not quietly regress.  Re-time the figure5
 # report and fail fast if it runs more than 10% slower than the committed
 # BENCH_figure5.json baseline (scaled comparisons are meaningless across
@@ -177,6 +241,18 @@ for name in ["figure5", "cost"]:
         sys.exit("smoke: %s perf regression: %.2fs now vs %.2fs baseline "
                  "(>10%% slower)" % (name, now, base))
     print("smoke: %s %.2fs vs %.2fs baseline: within 10%%" % (name, now, base))
+# parallel gate, from the fresh timing alone: when the host has more than
+# one core, the work-stealing figure5 run must not lose to the serial one
+fresh = json.load(open("/tmp/bench_figure5_now.json"))["sections"]
+par = next((s for s in fresh if s["section"] == "figure5_parallel"), None)
+if par is None:
+    sys.exit("smoke: fresh timing has no figure5_parallel section")
+serial = next(s["seconds"] for s in fresh if s["section"] == "figure5")
+if par["jobs"] > 1 and par["seconds"] > serial:
+    sys.exit("smoke: parallel figure5 (%d jobs) slower than serial: "
+             "%.2fs vs %.2fs" % (par["jobs"], par["seconds"], serial))
+print("smoke: figure5 parallel %.2fs (jobs=%d) vs serial %.2fs: ok"
+      % (par["seconds"], par["jobs"], serial))
 EOF
 }
 
