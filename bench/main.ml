@@ -33,6 +33,10 @@
                 all levels + fb, exported to bench/cost.json; exits non-zero
                 if fb loses to ts on geomean IPC or the predicted data_wait
                 share stops tracking the measured one (r < +0.5)
+     fuzz     - differential fuzzing over the synthetic corpus (seed 42,
+                200 programs through every level with lint/roundtrip/dep/
+                acct/cost/fb-bound/sim_ref as oracles), exported to
+                bench/fuzz.json; exits non-zero on any violation
      bechamel - wall-clock measurement of the pipeline stages
 
    Run with: dune exec bench/main.exe            (all sections)
@@ -42,7 +46,7 @@ let sections =
   if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
   else
     [ "table1"; "figure5"; "summary"; "superscalar"; "ablation"; "crossinput";
-      "lint"; "trace"; "account"; "deps"; "cost"; "bechamel" ]
+      "lint"; "trace"; "account"; "deps"; "cost"; "fuzz"; "bechamel" ]
 
 let want s = List.mem s sections
 
@@ -586,6 +590,50 @@ let run_cost () =
       Core.Heuristics.Task_size;
     ]
 
+(* --- fuzz ------------------------------------------------------------------ *)
+
+(* The synthetic corpus through the full oracle stack: the section that
+   holds the verification layers themselves to account.  Any violation is
+   a hard failure, same as a conservation leak. *)
+let run_fuzz () =
+  line ();
+  print_endline
+    "FUZZ — differential fuzzing over the synthetic corpus\n\
+     (200 programs x all profiles x all levels; lint, round-trip, dep,\n\
+     acct, cost, fb-bound and sim_ref cycle differential as oracles)";
+  line ();
+  let cfg = { Fuzz.default_config with Fuzz.seed = 42; n = 200 } in
+  let o = Fuzz.run cfg in
+  Printf.printf "%-13s %6s %6s %6s %6s %6s %9s\n" "profile" "progs" "funcs"
+    "blocks" "insns" "ref" "violations";
+  List.iter2
+    (fun (name, (s : Fuzz.shape)) (r : Harness.Job.fuzz) ->
+      Printf.printf "%-13s %6d %6d %6d %6d %3d/%-3d %9d\n" name
+        s.Fuzz.s_programs s.Fuzz.s_funcs s.Fuzz.s_blocks s.Fuzz.s_insns
+        r.Harness.Job.z_ref_pass r.Harness.Job.z_ref_checked
+        r.Harness.Job.z_violations)
+    o.Fuzz.o_shapes o.Fuzz.o_records;
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "fuzz.json"
+    else "fuzz.json"
+  in
+  Harness.Job.export ~path ~fuzz:o.Fuzz.o_records [];
+  Printf.printf "wrote %s (%d fuzz records)\n" path
+    (List.length o.Fuzz.o_records);
+  Printf.printf "fuzz: %d programs, %d oracle passes, %d violations, %.1fs\n"
+    o.Fuzz.o_programs o.Fuzz.o_checks
+    (List.length o.Fuzz.o_violations)
+    o.Fuzz.o_wall_seconds;
+  if o.Fuzz.o_violations <> [] then begin
+    List.iteri
+      (fun i v ->
+        if i < 10 then
+          Printf.printf "FUZZ VIOLATION: %s\n" (Fuzz.violation_text v))
+      o.Fuzz.o_violations;
+    exit 1
+  end
+
 (* --- bechamel ------------------------------------------------------------- *)
 
 let run_bechamel () =
@@ -675,6 +723,7 @@ let () =
   if want "account" then run_account ();
   if want "deps" then run_deps ();
   if want "cost" then run_cost ();
+  if want "fuzz" then run_fuzz ();
   if want "bechamel" then run_bechamel ();
   line ();
   export_results ();

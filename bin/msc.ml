@@ -14,6 +14,9 @@
      deps        static cross-task dependence edges vs observed trace flows
      cost        predicted cycle-account shares (static model) vs measured
      trace-stats memory statistics of the packed dynamic traces
+     fuzz        differential fuzzing over the synthetic corpus (lint,
+                 round-trip, dep/sound, acct/conserve, cost, fb-bound and
+                 the frozen sim_ref cycle differential as oracles)
      table1      regenerate the paper's Table 1
      figure5     regenerate the paper's Figure 5
      bench-time  wall-clock table1/figure5 into BENCH_figure5.json *)
@@ -622,6 +625,158 @@ let trace_stats_cmd =
     Term.(const run $ workloads_filter $ level_arg $ jobs_arg $ pus_arg
           $ pred_arg)
 
+(* --- fuzz ----------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    let doc = "Corpus root seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let n_arg =
+    let doc = "Number of programs (spread round-robin over the profiles)." in
+    Arg.(value & opt int 200 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let profile_arg =
+    let doc =
+      "Comma-separated subset of corpus profiles (default: the whole \
+       Workloads.Synth family)."
+    in
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"NAMES" ~doc)
+  in
+  let level_opt_arg =
+    let doc = "Restrict to one heuristic level (default: all four + fb)." in
+    Arg.(value & opt (some level_conv) None & info [ "l"; "level" ] ~doc)
+  in
+  let ref_sample_arg =
+    let doc =
+      "Run the frozen sim_ref cycle differential on every $(docv)-th \
+       program (0 disables it)."
+    in
+    Arg.(value & opt int 10 & info [ "ref-sample" ] ~docv:"K" ~doc)
+  in
+  let out_arg =
+    let doc = "Directory for minimized reproducer dumps." in
+    Arg.(value & opt string "fuzz-reproducers"
+         & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let fuzz_json_arg =
+    let doc =
+      "Export the per-profile fuzz records as JSON to $(docv) (the \
+       results.json object shape, with a \"fuzz\" section)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Debug: inject a known divide-by-zero fault into every program — the \
+       harness must catch it, shrink it and dump a reproducer (the run \
+       exits non-zero by design)."
+    in
+    Arg.(value & flag & info [ "inject-fault" ] ~doc)
+  in
+  let run seed n profile level ref_sample jobs out json inject =
+    let profiles =
+      match profile with
+      | None -> Workloads.Synth.Profile.all
+      | Some names ->
+        List.map
+          (fun name ->
+            match Workloads.Synth.Profile.find (String.trim name) with
+            | Some p -> p
+            | None ->
+              Printf.eprintf "msc: unknown fuzz profile %S\n" name;
+              exit 2)
+          (String.split_on_char ',' names)
+    in
+    let levels =
+      match level with
+      | None -> Core.Heuristics.extended_levels
+      | Some l -> [ l ]
+    in
+    let cfg =
+      { Fuzz.default_config with Fuzz.seed; n; profiles; levels; ref_sample }
+    in
+    if inject then Fuzz.fault_hook := Some (Fuzz.inject_div0 ~seed);
+    let progress ~done_ ~total =
+      Printf.eprintf "\rfuzz: %d/%d programs%!" done_ total
+    in
+    let o = Fuzz.run ?jobs ~progress cfg in
+    Printf.eprintf "\r%!";
+    Printf.printf "%-13s %5s %5s %5s %6s %5s %5s %5s %5s %5s %7s\n" "profile"
+      "progs" "lint" "rt" "trace" "dep" "acct" "cost" "fb" "ref" "viol";
+    List.iter
+      (fun (r : Harness.Job.fuzz) ->
+        Printf.printf "%-13s %5d %5d %5d %6d %5d %5d %5d %5d %2d/%-2d %7d\n"
+          r.Harness.Job.z_profile r.Harness.Job.z_programs
+          r.Harness.Job.z_lint_pass r.Harness.Job.z_roundtrip_pass
+          r.Harness.Job.z_trace_pass r.Harness.Job.z_dep_pass
+          r.Harness.Job.z_acct_pass r.Harness.Job.z_cost_pass
+          r.Harness.Job.z_fb_bound_pass r.Harness.Job.z_ref_pass
+          r.Harness.Job.z_ref_checked r.Harness.Job.z_violations)
+      o.Fuzz.o_records;
+    Printf.printf
+      "fuzz: %d programs x %d levels (seed %d), %d oracle passes, %d \
+       violations, %.1fs\n"
+      o.Fuzz.o_programs (List.length levels) seed o.Fuzz.o_checks
+      (List.length o.Fuzz.o_violations) o.Fuzz.o_wall_seconds;
+    (match json with
+    | None -> ()
+    | Some path ->
+      (try Harness.Job.export ~path ~fuzz:o.Fuzz.o_records [] with
+      | Sys_error msg ->
+        Printf.eprintf "msc: cannot write fuzz records: %s\n" msg;
+        exit 1);
+      Printf.printf "wrote %s (%d fuzz records)\n" path
+        (List.length o.Fuzz.o_records));
+    match o.Fuzz.o_violations with
+    | [] -> Fuzz.fault_hook := None
+    | v :: _ ->
+      List.iteri
+        (fun i v -> if i < 10 then print_endline (Fuzz.violation_text v))
+        o.Fuzz.o_violations;
+      let extra = List.length o.Fuzz.o_violations - 10 in
+      if extra > 0 then Printf.printf "(+%d more violations)\n" extra;
+      (* shrink the first offender and leave a reproducer behind *)
+      (match Workloads.Synth.Profile.find v.Fuzz.v_profile with
+      | None -> ()
+      | Some profile ->
+        let prog = Workloads.Synth.generate ~profile ~seed:v.Fuzz.v_seed in
+        let prog =
+          match !Fuzz.fault_hook with Some f -> f prog | None -> prog
+        in
+        let fails = Fuzz.fails_oracle cfg ~oracle:v.Fuzz.v_oracle in
+        if fails prog then begin
+          let small = Fuzz.minimize ~fails prog in
+          let name =
+            Printf.sprintf "%s-%d-%s" v.Fuzz.v_profile v.Fuzz.v_index
+              v.Fuzz.v_oracle
+          in
+          match Fuzz.dump_reproducer ~dir:out ~name small with
+          | Ok path ->
+            Printf.printf "reproducer: %s (%d insns, shrunk from %d)\n" path
+              (Ir.Prog.static_size small)
+              (Ir.Prog.static_size prog)
+          | Error msg -> Printf.printf "reproducer dump failed: %s\n" msg
+        end
+        else
+          Printf.printf
+            "note: first violation does not reproduce standalone (profile \
+             %s, seed %d)\n"
+            v.Fuzz.v_profile v.Fuzz.v_seed);
+      Fuzz.fault_hook := None;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing over the synthetic corpus: every program \
+          through every heuristic level with lint, round-trip, dep/sound, \
+          acct/conserve, cost, the fb cost bound and the frozen sim_ref \
+          cycle differential as oracles; violations are shrunk to a dumped \
+          reproducer and the exit status is non-zero")
+    Term.(const run $ seed_arg $ n_arg $ profile_arg $ level_opt_arg
+          $ ref_sample_arg $ jobs_arg $ out_arg $ fuzz_json_arg $ inject_arg)
+
 (* --- table1 / figure5 ---------------------------------------------------- *)
 
 let table1_cmd =
@@ -694,6 +849,14 @@ let bench_time_cmd =
           Format.fprintf null "%a@."
             Report.Cost.pp (Report.Cost.run ~store ?jobs suite))
     in
+    (* a fixed slice of the synthetic fuzz corpus (4 programs per profile
+       through the full oracle stack), so the wall cost of the
+       verification path is tracked alongside the reports it guards *)
+    let fuzz_n = 44 in
+    let fuzz_s =
+      time_section (fun () ->
+          ignore (Fuzz.run ?jobs { Fuzz.default_config with Fuzz.n = fuzz_n }))
+    in
     (* the same figure5 report at full recommended width, so the file
        records the parallel-vs-serial story of the scheduler on this
        machine; on a single-core host the serial figure is reused
@@ -741,6 +904,12 @@ let bench_time_cmd =
                   ];
                 Harness.Json.Obj
                   [
+                    ("section", Harness.Json.String "fuzz");
+                    ("seconds", Harness.Json.Float fuzz_s);
+                    ("programs", Harness.Json.Int fuzz_n);
+                  ];
+                Harness.Json.Obj
+                  [
                     ("section", Harness.Json.String "figure5_parallel");
                     ("seconds", Harness.Json.Float figure5_par_s);
                     ("jobs", Harness.Json.Int par_jobs);
@@ -756,15 +925,16 @@ let bench_time_cmd =
     close_out oc;
     Printf.printf
       "table1 %.2fs, figure5 %.2fs (%.1fx vs %.1fs seed), cost %.2fs, \
-       figure5[j=%d] %.2fs (%.2fx vs serial); wrote %s\n"
+       fuzz[%d] %.2fs, figure5[j=%d] %.2fs (%.2fx vs serial); wrote %s\n"
       table1_s figure5_s (seed_seconds /. figure5_s) seed_seconds cost_s
-      par_jobs figure5_par_s (figure5_s /. figure5_par_s) out
+      fuzz_n fuzz_s par_jobs figure5_par_s (figure5_s /. figure5_par_s) out
   in
   Cmd.v
     (Cmd.info "bench-time"
        ~doc:
-         "Wall-clock the table1, figure5 and cost reports and record the \
-          timings (with the speedup over the growth-seed core) as JSON")
+         "Wall-clock the table1, figure5 and cost reports plus a fixed \
+          fuzz-corpus slice and record the timings (with the speedup over \
+          the growth-seed core) as JSON")
     Term.(const run $ workloads_filter $ jobs_arg $ out_arg)
 
 (* --- daemon / client ------------------------------------------------------ *)
@@ -805,8 +975,8 @@ let daemon_cmd =
 let client_cmd =
   let op_arg =
     let doc =
-      "Operation: simulate, partition, deps, cost, breakdown, lint, stats \
-       or shutdown."
+      "Operation: simulate, partition, deps, cost, breakdown, lint, fuzz, \
+       stats or shutdown."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
   in
@@ -828,7 +998,20 @@ let client_cmd =
     let doc = "In-order processing units." in
     Arg.(value & flag & info [ "in-order" ] ~doc)
   in
-  let run socket op workload level pus in_order =
+  let seed_opt_arg =
+    let doc = "Corpus seed (fuzz operation)." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let n_opt_arg =
+    let doc = "Corpus size (fuzz operation; the server clamps it)." in
+    Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let profile_opt_arg =
+    let doc = "Corpus profile name (fuzz operation; default: all)." in
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"NAME" ~doc)
+  in
+  let run socket op workload level pus in_order seed n profile =
     let fields =
       [ ("op", Harness.Json.String op) ]
       @ (match workload with
@@ -836,6 +1019,15 @@ let client_cmd =
         | None -> [])
       @ (match level with
         | Some l -> [ ("level", Harness.Json.String l) ]
+        | None -> [])
+      @ (match seed with
+        | Some s -> [ ("seed", Harness.Json.Int s) ]
+        | None -> [])
+      @ (match n with
+        | Some n -> [ ("n", Harness.Json.Int n) ]
+        | None -> [])
+      @ (match profile with
+        | Some p -> [ ("profile", Harness.Json.String p) ]
         | None -> [])
       @ [
           ("num_pus", Harness.Json.Int pus);
@@ -869,7 +1061,8 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send one request to a running mscd service and print the response")
     Term.(const run $ socket_arg $ op_arg $ workload_arg $ level_tag_arg
-          $ pus_arg $ in_order_arg)
+          $ pus_arg $ in_order_arg $ seed_opt_arg $ n_opt_arg
+          $ profile_opt_arg)
 
 let main =
   let info =
@@ -879,8 +1072,8 @@ let main =
   Cmd.group info
     [
       list_cmd; run_cmd; breakdown_cmd; dump_cmd; lint_cmd; deps_cmd;
-      cost_cmd; trace_stats_cmd; table1_cmd; figure5_cmd; bench_time_cmd;
-      run_file_cmd;
+      cost_cmd; trace_stats_cmd; fuzz_cmd; table1_cmd; figure5_cmd;
+      bench_time_cmd; run_file_cmd;
       export_cmd; dot_cmd; superscalar_cmd; timeline_cmd;
       daemon_cmd; client_cmd;
     ]

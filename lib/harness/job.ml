@@ -345,6 +345,43 @@ let cost_to_json c =
       ("pred_overhead", Json.Float s.Analysis.Cost.s_overhead);
     ]
 
+type fuzz = {
+  z_seed : int;
+  z_profile : string;
+  z_programs : int;
+  z_levels : int;
+  z_lint_pass : int;
+  z_roundtrip_pass : int;
+  z_trace_pass : int;
+  z_dep_pass : int;
+  z_acct_pass : int;
+  z_cost_pass : int;
+  z_fb_bound_pass : int;
+  z_ref_checked : int;
+  z_ref_pass : int;
+  z_violations : int;
+}
+
+(* Integer-only like accounts and deps: pass rates are derived by readers. *)
+let fuzz_to_json z =
+  Json.Obj
+    [
+      ("seed", Json.Int z.z_seed);
+      ("profile", Json.String z.z_profile);
+      ("programs", Json.Int z.z_programs);
+      ("levels", Json.Int z.z_levels);
+      ("lint_pass", Json.Int z.z_lint_pass);
+      ("roundtrip_pass", Json.Int z.z_roundtrip_pass);
+      ("trace_pass", Json.Int z.z_trace_pass);
+      ("dep_pass", Json.Int z.z_dep_pass);
+      ("acct_pass", Json.Int z.z_acct_pass);
+      ("cost_pass", Json.Int z.z_cost_pass);
+      ("fb_bound_pass", Json.Int z.z_fb_bound_pass);
+      ("ref_checked", Json.Int z.z_ref_checked);
+      ("ref_pass", Json.Int z.z_ref_pass);
+      ("violations", Json.Int z.z_violations);
+    ]
+
 let accounts_to_json accounts =
   Json.Obj [ ("accounts", Json.List (List.map account_to_json accounts)) ]
 
@@ -440,16 +477,20 @@ let of_json = function
     | None -> Error "missing field \"jobs\"")
   | _ -> Error "expected a top-level list or object of results"
 
-let export ~path ?trace results =
+let export ~path ?trace ?fuzz results =
   let json =
-    match trace with
-    | None -> to_json results
-    | Some stats ->
+    match (trace, fuzz) with
+    (* legacy shape when no section rides along *)
+    | None, None -> to_json results
+    | _ ->
+      let section name to_json = function
+        | None -> []
+        | Some items -> [ (name, Json.List (List.map to_json items)) ]
+      in
       Json.Obj
-        [
-          ("jobs", to_json results);
-          ("trace", Json.List (List.map trace_stat_to_json stats));
-        ]
+        (("jobs", to_json results)
+         :: (section "trace" trace_stat_to_json trace
+            @ section "fuzz" fuzz_to_json fuzz))
   in
   let oc = open_out path in
   Fun.protect

@@ -186,13 +186,44 @@ val accounts_to_json : account list -> Json.t
 val export_accounts : path:string -> account list -> unit
 (** Write {!accounts_to_json} to [path] (with a trailing newline). *)
 
+(** {1 Fuzz corpus summaries}
+
+    Per-profile aggregates of a differential fuzzing run ({!Fuzz} in
+    [lib/fuzz]): how many generated programs went through which oracles and
+    how many passed.  These ride along in [results.json] (and
+    [bench/fuzz.json]) as the "fuzz" member, next to the trace/account/
+    dep/cost records. *)
+
+type fuzz = {
+  z_seed : int;            (** corpus root seed *)
+  z_profile : string;      (** {!Workloads.Synth.Profile} name *)
+  z_programs : int;        (** programs generated under this profile *)
+  z_levels : int;          (** heuristic levels each program went through *)
+  z_lint_pass : int;       (** programs with ir/* + part/* + regcomm/* clean *)
+  z_roundtrip_pass : int;  (** programs whose textual round-trip is exact *)
+  z_trace_pass : int;      (** programs whose packed traces decode cleanly *)
+  z_dep_pass : int;        (** programs with dep/sound + dep/reg clean *)
+  z_acct_pass : int;       (** programs with acct/conserve exact *)
+  z_cost_pass : int;       (** programs with cost/conserve clean *)
+  z_fb_bound_pass : int;   (** programs where fb static cost <= ts seed *)
+  z_ref_checked : int;     (** programs given the sim_ref differential *)
+  z_ref_pass : int;        (** ... of which were cycle-identical *)
+  z_violations : int;      (** total oracle violations under this profile *)
+}
+
+val fuzz_to_json : fuzz -> Json.t
+(** Integer-only counts, like accounts and deps. *)
+
 val to_json : result list -> Json.t
 
 val of_json : Json.t -> (result list, string) Stdlib.result
 (** Accepts both export shapes: the legacy bare list of job results and the
     current [{"jobs": [...], ...}] object. *)
 
-val export : path:string -> ?trace:trace_stat list -> result list -> unit
+val export :
+  path:string -> ?trace:trace_stat list -> ?fuzz:fuzz list -> result list ->
+  unit
 (** Write the results to [path] (with a trailing newline).  Without [trace]
-    the file is the legacy bare list; with it, an object with "jobs" and
-    "trace" members. *)
+    and [fuzz] the file is the legacy bare list; with either, an object
+    with a "jobs" member plus a "trace" / "fuzz" member per given section
+    (the dual-shape contract {!of_json} reads). *)

@@ -89,6 +89,20 @@ let funop_name = function
   | Fneg -> "fneg" | Fabs -> "fabs" | Fsqrt -> "fsqrt" | Itof -> "itof"
   | Ftoi -> "ftoi"
 
+(* shortest decimal that parses back to the identical float, so [lf]
+   instructions survive the textual round-trip bit-for-bit *)
+let float_repr x =
+  if x <> x then "nan"
+  else if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else if Float.is_integer x && Float.abs x < 1e16 then Printf.sprintf "%.1f" x
+  else
+    let s = Printf.sprintf "%.15g" x in
+    if float_of_string s = x then s
+    else
+      let s = Printf.sprintf "%.16g" x in
+      if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
 let pp_operand ppf = function
   | Reg r -> Format.pp_print_string ppf (Reg.name r)
   | Imm n -> Format.fprintf ppf "#%d" n
@@ -98,7 +112,7 @@ let pp ppf insn =
   match insn with
   | Nop -> Format.pp_print_string ppf "nop"
   | Li (d, n) -> Format.fprintf ppf "li %s, %d" (r d) n
-  | Lf (d, f) -> Format.fprintf ppf "lf %s, %g" (r d) f
+  | Lf (d, f) -> Format.fprintf ppf "lf %s, %s" (r d) (float_repr f)
   | Mov (d, s) -> Format.fprintf ppf "mov %s, %s" (r d) (r s)
   | Bin (op, d, s, o) ->
     Format.fprintf ppf "%s %s, %s, %a" (binop_name op) (r d) (r s) pp_operand o

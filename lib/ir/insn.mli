@@ -58,5 +58,11 @@ val uses : t -> Reg.t list
 (** Registers read, without duplicates. *)
 
 val is_mem : t -> bool
+
+val float_repr : float -> string
+(** Shortest decimal (or [nan]/[inf]) that {!float_of_string} maps back to
+    the identical float — what {!pp} prints for [Lf], so the textual IR
+    round-trips exactly. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -298,6 +298,13 @@ let program text =
             Ok ()
           | _ -> fail "bad data line %S" line
         end
+        else if String.length line > 7 && String.equal (String.sub line 0 7) "memtop " then begin
+          match int_of_string_opt (String.trim (String.sub line 7 (String.length line - 7))) with
+          | Some n when n >= 0 ->
+            next_addr := max !next_addr n;
+            Ok ()
+          | Some _ | None -> fail "bad memtop line %S" line
+        end
         else if String.length line > 5 && String.equal (String.sub line 0 5) "main " then begin
           main := String.trim (String.sub line 5 (String.length line - 5));
           Ok ()

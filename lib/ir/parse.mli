@@ -6,6 +6,7 @@
     # comment
     data 4096 int 1 2 3
     data 5000 flt 0.5 1.25
+    memtop 5100
     func main {
     L0:
       li t0, 5
@@ -20,7 +21,10 @@
     v}
 
     Blocks must be labelled [L0..Ln-1] in order; every function needs at
-    least one block; [main] defaults to ["main"]. *)
+    least one block; [main] defaults to ["main"].  The optional [memtop]
+    directive raises the program's memory bound past the last initialised
+    cell, preserving scratch regions builder programs reserve without
+    initialising (the dependence analyses read {!Prog.t.mem_top}). *)
 
 val program : string -> (Prog.t, string) result
 (** Parse a whole program from a string.  The result is validated. *)

@@ -53,6 +53,10 @@ let program_text p =
       emit_data rest
   in
   emit_data p.Prog.mem_init;
+  (* builder programs reserve scratch memory beyond the initialised cells
+     (alloc without data); the analyses read [mem_top], so the bound must
+     survive the round-trip explicitly *)
+  Buffer.add_string buf (Printf.sprintf "memtop %d\n" p.Prog.mem_top);
   Prog.Smap.iter (fun _ f -> Buffer.add_string buf (func_text f)) p.Prog.funcs;
   Buffer.add_string buf (Printf.sprintf "main %s\n" p.Prog.main);
   Buffer.contents buf

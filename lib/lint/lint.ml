@@ -716,6 +716,7 @@ let () =
       ("ir/invalid-reg", "instruction names an out-of-range register");
       ("ir/label-range", "terminator targets an out-of-range label");
       ("ir/no-main", "program's main function is missing");
+      ("ir/roundtrip", "program fails the Ir.Pp/Ir.Parse textual round-trip");
       ("ir/unreachable", "block unreachable from the function entry");
       ("ir/use-before-def", "register read before any definition");
       ("part/block-range", "task contains an out-of-range block");
@@ -746,6 +747,63 @@ let () =
       ("dep/reg", "Depend register edges diverge from Regcomm recomputation");
       ("cost/conserve", "predicted cost shares violate conservation");
     ]
+
+(* --- textual round-trip audit ----------------------------------------------- *)
+
+(* Printing through Ir.Pp and re-parsing must reproduce the program exactly:
+   the fuzz reproducer dump (and any externally supplied program) is only a
+   faithful regression input if this holds.  Structural comparison is via
+   [compare] so float payloads (including nan) are matched bit-for-bit
+   rather than by [=]. *)
+let check_roundtrip prog =
+  match Ir.Parse.program (Ir.Pp.program_text prog) with
+  | Error e ->
+    [
+      Diag.error ~rule:"ir/roundtrip" Diag.program_loc
+        "printed program does not parse back: %s" e;
+    ]
+  | Ok p' ->
+    let ds = ref [] in
+    let add d = ds := d :: !ds in
+    if not (String.equal p'.Ir.Prog.main prog.Ir.Prog.main) then
+      add
+        (Diag.error ~rule:"ir/roundtrip" Diag.program_loc
+           "main changed across print/parse: %S became %S"
+           prog.Ir.Prog.main p'.Ir.Prog.main);
+    if p'.Ir.Prog.mem_top <> prog.Ir.Prog.mem_top then
+      add
+        (Diag.error ~rule:"ir/roundtrip" Diag.program_loc
+           "mem_top changed across print/parse: %d became %d"
+           prog.Ir.Prog.mem_top p'.Ir.Prog.mem_top);
+    let norm m = List.sort compare m in
+    if compare (norm p'.Ir.Prog.mem_init) (norm prog.Ir.Prog.mem_init) <> 0
+    then
+      add
+        (Diag.error ~rule:"ir/roundtrip" Diag.program_loc
+           "data segment changed across print/parse (%d cells became %d)"
+           (List.length prog.Ir.Prog.mem_init)
+           (List.length p'.Ir.Prog.mem_init));
+    Smap.iter
+      (fun name f ->
+        match Smap.find_opt name p'.Ir.Prog.funcs with
+        | None ->
+          add
+            (Diag.error ~rule:"ir/roundtrip" (Diag.in_func name)
+               "function lost across print/parse")
+        | Some f' ->
+          if compare f f' <> 0 then
+            add
+              (Diag.error ~rule:"ir/roundtrip" (Diag.in_func name)
+                 "function changed across print/parse"))
+      prog.Ir.Prog.funcs;
+    Smap.iter
+      (fun name _ ->
+        if not (Smap.mem name prog.Ir.Prog.funcs) then
+          add
+            (Diag.error ~rule:"ir/roundtrip" (Diag.in_func name)
+               "function appeared across print/parse"))
+      p'.Ir.Prog.funcs;
+    List.sort Diag.compare !ds
 
 (* --- packed trace audit ----------------------------------------------------- *)
 

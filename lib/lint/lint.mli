@@ -36,6 +36,13 @@ module Diag = Diag
 val check_prog : Ir.Prog.t -> Diag.t list
 (** IR well-formedness of a whole program ([ir/*] rules only). *)
 
+val check_roundtrip : Ir.Prog.t -> Diag.t list
+(** Textual round-trip audit ([ir/roundtrip]): printing through {!Ir.Pp}
+    and re-parsing with {!Ir.Parse} must reproduce the program exactly —
+    same functions (instruction-for-instruction), data segment, memory
+    bound and main.  Any loss would make dumped fuzz reproducers unfaithful
+    regression inputs. *)
+
 val check_partition :
   ?level:Core.Heuristics.level ->
   ?params:Core.Heuristics.params ->

@@ -17,6 +17,7 @@ type op =
       in_order : bool;
     }
   | Lint of { workload : string; level : Core.Heuristics.level }
+  | Fuzz of { seed : int; n : int; profile : string option }
   | Stats
   | Shutdown
 
@@ -83,6 +84,26 @@ let parse_request line =
     | "lint" ->
       let* workload, level = workload_level json in
       Ok (Lint { workload; level })
+    | "fuzz" ->
+      let* seed =
+        match Json.member "seed" json with
+        | None -> Ok 42
+        | Some (Json.Int s) -> Ok s
+        | Some _ -> Error "field \"seed\" must be an integer"
+      in
+      let* n =
+        match Json.member "n" json with
+        | None -> Ok 100
+        | Some (Json.Int n) when n >= 1 -> Ok n
+        | Some _ -> Error "field \"n\" must be a positive integer"
+      in
+      let* profile =
+        match Json.member "profile" json with
+        | None -> Ok None
+        | Some (Json.String p) -> Ok (Some p)
+        | Some _ -> Error "field \"profile\" must be a string"
+      in
+      Ok (Fuzz { seed; n; profile })
     | "stats" -> Ok Stats
     | "shutdown" -> Ok Shutdown
     | s -> Error (Printf.sprintf "unknown op %S" s)
@@ -108,6 +129,15 @@ let op_to_json op =
     wl "breakdown" workload level
       [ ("num_pus", Json.Int num_pus); ("in_order", Json.Bool in_order) ]
   | Lint { workload; level } -> wl "lint" workload level []
+  | Fuzz { seed; n; profile } ->
+    Json.Obj
+      (("op", Json.String "fuzz")
+       :: ("seed", Json.Int seed)
+       :: ("n", Json.Int n)
+       ::
+       (match profile with
+       | Some p -> [ ("profile", Json.String p) ]
+       | None -> []))
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
 

@@ -14,7 +14,10 @@
     [lint] address one (workload, heuristic level) pipeline — levels use
     the {!Harness.Job.level_tag} encoding; [num_pus] (default 8) and
     [in_order] (default false) further select the machine for
-    [simulate]/[breakdown].  [stats] reads the server's metrics and
+    [simulate]/[breakdown].  [fuzz] runs a synthetic-corpus sweep through
+    the {!Fuzz} oracle stack ([seed] default 42, [n] default 100 — the
+    server clamps [n] to its own ceiling — and an optional [profile]
+    name restricting the corpus).  [stats] reads the server's metrics and
     [shutdown] asks it to drain.
 
     Responses are [{"id", "ok": true, "dedup": bool, "micros": float,
@@ -39,6 +42,7 @@ type op =
       in_order : bool;
     }
   | Lint of { workload : string; level : Core.Heuristics.level }
+  | Fuzz of { seed : int; n : int; profile : string option }
   | Stats
   | Shutdown
 

@@ -127,6 +127,34 @@ let handle_op t (op : Protocol.op) : Json.t =
         ("errors", Json.Int (Lint.total_errors reports));
         ("report", Lint.report_to_json reports);
       ]
+  | Protocol.Fuzz { seed; n; profile } ->
+    (* the corpus sweep is CPU-bound and dedup-cached by (seed, n,
+       profile); clamp n so one request cannot monopolise the daemon *)
+    let n = min n 500 in
+    let profiles =
+      match profile with
+      | None -> Workloads.Synth.Profile.all
+      | Some p -> (
+        match Workloads.Synth.Profile.find p with
+        | Some prof -> [ prof ]
+        | None -> failwith (Printf.sprintf "unknown fuzz profile %S" p))
+    in
+    let cfg = { Fuzz.default_config with Fuzz.seed; n; profiles } in
+    let o = Fuzz.run ~jobs:t.jobs cfg in
+    Json.Obj
+      [
+        ("seed", Json.Int seed);
+        ("programs", Json.Int o.Fuzz.o_programs);
+        ("checks", Json.Int o.Fuzz.o_checks);
+        ("violations", Json.Int (List.length o.Fuzz.o_violations));
+        ( "first_violation",
+          match o.Fuzz.o_violations with
+          | [] -> Json.Null
+          | v :: _ -> Json.String (Fuzz.violation_text v) );
+        ("wall_seconds", Json.Float o.Fuzz.o_wall_seconds);
+        ( "records",
+          Json.List (List.map Job.fuzz_to_json o.Fuzz.o_records) );
+      ]
   | Protocol.Stats | Protocol.Shutdown -> assert false (* handled inline *)
 
 let stats_json t =

@@ -1,114 +1,22 @@
-(* QCheck generator of random structured IR programs.
+(* QCheck generator of random structured IR programs — a thin shim over
+   the shared synthetic corpus (Workloads.Synth).
 
-   Programs are built through the public builder API, so they are valid by
-   construction, and all loops are counted with constant bounds, so they
-   terminate.  Division is by non-zero constants only.  Memory operations
-   stay within a private scratch array.  The generator exercises every
-   control construct: if/while(bounded)/for/switch/call/early-ret. *)
+   The generator draws a (profile, seed) pair from the QCheck state and
+   delegates to the corpus generator, so the property suites exercise
+   exactly the structure space the msc fuzz / bench fuzz drivers sweep:
+   valid by construction, counted loops, guarded division, bounded
+   memory.  Shrinking is the fuzz minimizer's job (Fuzz.minimize over
+   Workloads.Synth.shrink_candidates), not QCheck's. *)
 
-let mem_cells = 64
-
-type op_budget = { mutable left : int }
-
-(* registers we let the generator play with; the low temporaries are used by
-   the harness around the generated code *)
-let gen_reg st = Ir.Reg.tmp (4 + QCheck.Gen.int_bound 7 st)
-
-let gen_binop st =
-  let open Ir.Insn in
-  match QCheck.Gen.int_bound 11 st with
-  | 0 -> Add | 1 -> Sub | 2 -> Mul | 3 -> And | 4 -> Or | 5 -> Xor
-  | 6 -> Shl | 7 -> Shr | 8 -> Lt | 9 -> Le | 10 -> Eq | _ -> Ne
-
-let gen_straight ~mem_base b st =
-  let n = 1 + QCheck.Gen.int_bound 5 st in
-  for _ = 1 to n do
-    let d = gen_reg st in
-    match QCheck.Gen.int_bound 5 st with
-    | 0 -> Ir.Builder.li b d (QCheck.Gen.int_bound 1000 st)
-    | 1 ->
-      let s = gen_reg st in
-      Ir.Builder.bin b (gen_binop st) d s
-        (Ir.Insn.Imm (1 + QCheck.Gen.int_bound 30 st))
-    | 2 ->
-      let s1 = gen_reg st and s2 = gen_reg st in
-      Ir.Builder.bin b (gen_binop st) d s1 (Ir.Insn.Reg s2)
-    | 3 ->
-      (* guarded division by constant *)
-      let s = gen_reg st in
-      Ir.Builder.bin b Ir.Insn.Div d s
-        (Ir.Insn.Imm (1 + QCheck.Gen.int_bound 9 st))
-    | 4 ->
-      (* bounded load *)
-      let s = gen_reg st in
-      Ir.Builder.bin b Ir.Insn.And d s (Ir.Insn.Imm (mem_cells - 1));
-      Ir.Builder.addi b d d mem_base;
-      Ir.Builder.load b d d 0
-    | _ ->
-      (* bounded store *)
-      let s = gen_reg st and v = gen_reg st in
-      Ir.Builder.bin b Ir.Insn.And d s (Ir.Insn.Imm (mem_cells - 1));
-      Ir.Builder.addi b d d mem_base;
-      Ir.Builder.store b v d 0
-  done
-
-let rec gen_body ~mem_base ~budget ~depth ~loop_var b st =
-  gen_straight ~mem_base b st;
-  if budget.left > 0 && depth < 4 then begin
-    budget.left <- budget.left - 1;
-    match QCheck.Gen.int_bound 4 st with
-    | 0 ->
-      let c = gen_reg st in
-      Ir.Builder.if_ b c
-        (fun b -> gen_body ~mem_base ~budget ~depth:(depth + 1) ~loop_var b st)
-        (fun b -> gen_body ~mem_base ~budget ~depth:(depth + 1) ~loop_var b st)
-    | 1 ->
-      (* counted loop over a fresh induction register *)
-      let r = Ir.Reg.tmp (12 + loop_var) in
-      let iters = 1 + QCheck.Gen.int_bound 6 st in
-      Ir.Builder.for_ b r ~from:(Ir.Insn.Imm 0) ~below:(Ir.Insn.Imm iters)
-        ~step:1 (fun b ->
-          gen_body ~mem_base ~budget ~depth:(depth + 1)
-            ~loop_var:(loop_var + 1) b st)
-    | 2 ->
-      let c = gen_reg st in
-      Ir.Builder.bin b Ir.Insn.And c c (Ir.Insn.Imm 3);
-      Ir.Builder.switch_ b c
-        (Array.init
-           (1 + QCheck.Gen.int_bound 3 st)
-           (fun _ b -> gen_straight ~mem_base b st))
-        ~default:(fun b -> gen_straight ~mem_base b st)
-    | 3 ->
-      Ir.Builder.call b "helper";
-      gen_straight ~mem_base b st
-    | _ ->
-      let c = gen_reg st in
-      Ir.Builder.when_ b c (fun b -> gen_straight ~mem_base b st)
-  end
+let profiles = Array.of_list Workloads.Synth.Profile.all
 
 let gen_program : Ir.Prog.t QCheck.Gen.t =
  fun st ->
-  let pb = Ir.Builder.program () in
-  let mem_base = Ir.Builder.alloc pb mem_cells in
-  Ir.Builder.func pb "helper" (fun b ->
-      gen_straight ~mem_base b st;
-      Ir.Builder.bin b Ir.Insn.Add Ir.Reg.rv (Ir.Reg.arg 0) (Ir.Insn.Imm 1);
-      Ir.Builder.ret b);
-  Ir.Builder.func pb "main" (fun b ->
-      (* deterministic seeds for the playground registers *)
-      for i = 0 to 7 do
-        Ir.Builder.li b (Ir.Reg.tmp (4 + i)) ((i * 37) + 11)
-      done;
-      let budget = { left = 6 + QCheck.Gen.int_bound 8 st } in
-      gen_body ~mem_base ~budget ~depth:0 ~loop_var:0 b st;
-      (* digest the playground into rv *)
-      Ir.Builder.li b Ir.Reg.rv 0;
-      for i = 0 to 7 do
-        Ir.Builder.bin b Ir.Insn.Xor Ir.Reg.rv Ir.Reg.rv
-          (Ir.Insn.Reg (Ir.Reg.tmp (4 + i)))
-      done;
-      Ir.Builder.ret b);
-  Ir.Builder.finish pb ~main:"main"
+  let profile =
+    profiles.(QCheck.Gen.int_bound (Array.length profiles - 1) st)
+  in
+  let seed = QCheck.Gen.int_bound ((1 lsl 30) - 1) st in
+  Workloads.Synth.generate ~profile ~seed
 
 let arbitrary_program =
   QCheck.make gen_program ~print:(fun p -> Format.asprintf "%a" Ir.Prog.pp p)

@@ -21,6 +21,7 @@
 #   dune build @bench-smoke   # table1 + trace + account sections
 #   dune build @deps-smoke    # static-dependence soundness section
 #   dune build @cost-smoke    # static cost-model quality section
+#   dune build @fuzz-smoke    # differential fuzzing over the synth corpus
 #   dune build @lint          # static verification of every plan
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,6 +39,11 @@ step lint dune build @lint
 step bench env HARNESS_JOBS=1 dune exec bench/main.exe -- table1 trace account
 step deps env HARNESS_JOBS=1 dune exec bench/main.exe -- deps
 step cost env HARNESS_JOBS=1 dune exec bench/main.exe -- cost
+# differential fuzzing, fail-fast: a fixed 200-program corpus through every
+# level with the full oracle stack; on any violation msc fuzz shrinks the
+# offender, prints the reproducer path under /tmp/msc_fuzz_smoke and exits
+# non-zero (parallel jobs are fine here — results are job-count invariant)
+step fuzz dune exec bin/msc.exe -- fuzz --seed 42 -n 200 --out /tmp/msc_fuzz_smoke
 
 # belt and braces: re-derive the conservation check from the exported JSON,
 # independently of the bench process that wrote it
