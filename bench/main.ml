@@ -46,7 +46,8 @@ let sections =
   if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
   else
     [ "table1"; "figure5"; "summary"; "superscalar"; "ablation"; "crossinput";
-      "lint"; "trace"; "account"; "deps"; "cost"; "fuzz"; "bechamel" ]
+      "lint"; "trace"; "account"; "deps"; "absint"; "cost"; "fuzz";
+      "bechamel" ]
 
 let want s = List.mem s sections
 
@@ -520,6 +521,42 @@ let run_deps () =
   end;
   Printf.printf "soundness: every observed dependence predicted\n"
 
+(* --- flow-sensitive refinement precision ------------------------------------ *)
+
+(* The Analysis.Absint payoff table, with the acceptance gate of the
+   refinement: suite-wide, the refined analysis must predict strictly
+   fewer cross-task memory edges than the flow-insensitive baseline it is
+   bounded by.  Per-row [ab <= fi] is already a lint invariant
+   (absint/refines); this gate is about the aggregate actually moving. *)
+let run_absint () =
+  line ();
+  print_endline
+    "ABSINT — flow-sensitive refinement precision vs flow-insensitive\n\
+     baseline (all workloads x all levels)";
+  line ();
+  let rows = Report.Precision.run ~store Workloads.Suite.all in
+  Format.printf "%a@." Report.Precision.pp rows;
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "absint.json"
+    else "absint.json"
+  in
+  let oc = open_out path in
+  output_string oc (Harness.Json.to_string (Report.Precision.to_json rows));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d precision rows)\n" path (List.length rows);
+  let fi, ab = Report.Precision.totals rows in
+  if ab >= fi then begin
+    Printf.printf
+      "PRECISION REGRESSION: refined mem edges (%d) not below the \
+       flow-insensitive baseline (%d)\n"
+      ab fi;
+    exit 1
+  end;
+  Printf.printf "precision: %d -> %d suite-wide mem edges (%d pruned)\n" fi ab
+    (fi - ab)
+
 (* --- static cost model ------------------------------------------------------ *)
 
 (* Predicted cycle-account shares per plan against the measured Sim.Account
@@ -722,6 +759,7 @@ let () =
   if want "trace" then run_trace ();
   if want "account" then run_account ();
   if want "deps" then run_deps ();
+  if want "absint" then run_absint ();
   if want "cost" then run_cost ();
   if want "fuzz" then run_fuzz ();
   if want "bechamel" then run_bechamel ();

@@ -12,11 +12,13 @@
      superscalar simulate on the centralised superscalar reference machine
      lint        statically verify IR, partitions and register communication
      deps        static cross-task dependence edges vs observed trace flows
+     absint      flow-sensitive refinement precision vs the baseline regions
      cost        predicted cycle-account shares (static model) vs measured
      trace-stats memory statistics of the packed dynamic traces
      fuzz        differential fuzzing over the synthetic corpus (lint,
-                 round-trip, dep/sound, acct/conserve, cost, fb-bound and
-                 the frozen sim_ref cycle differential as oracles)
+                 round-trip, dep/sound, absint, acct/conserve, cost,
+                 fb-bound and the frozen sim_ref cycle differential as
+                 oracles)
      table1      regenerate the paper's Table 1
      figure5     regenerate the paper's Figure 5
      bench-time  wall-clock table1/figure5 into BENCH_figure5.json *)
@@ -512,6 +514,49 @@ let deps_cmd =
     Term.(const run $ workloads_filter $ level_opt_arg $ pus_arg
           $ in_order_arg $ jobs_arg $ deps_json_arg)
 
+(* --- absint ---------------------------------------------------------------- *)
+
+let absint_cmd =
+  let level_opt_arg =
+    let doc = "Restrict to one heuristic level (default: all four)." in
+    Arg.(value & opt (some level_conv) None & info [ "l"; "level" ] ~doc)
+  in
+  let absint_json_arg =
+    let doc =
+      "Export the precision rows and suite totals as JSON to $(docv) (same \
+       shape as bench/absint.json)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run only level jobs json =
+    let entries = suite_of only in
+    let levels =
+      match level with
+      | None -> Core.Heuristics.all_levels
+      | Some l -> [ l ]
+    in
+    let rows = Report.Precision.run ~store ?jobs ~levels entries in
+    Format.printf "%a@." Report.Precision.pp rows;
+    match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Harness.Json.to_string (Report.Precision.to_json rows));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s (%d precision rows)\n" path (List.length rows)
+  in
+  Cmd.v
+    (Cmd.info "absint"
+       ~doc:
+         "Flow-sensitive refinement precision (Analysis.Absint): cross-task \
+          memory edges pruned against the flow-insensitive baseline, \
+          unbounded-region sites and the widest refined regions per \
+          workload and level")
+    Term.(const run $ workloads_filter $ level_opt_arg $ jobs_arg
+          $ absint_json_arg)
+
 (* --- cost ------------------------------------------------------------------ *)
 
 let cost_cmd =
@@ -702,17 +747,20 @@ let fuzz_cmd =
     in
     let o = Fuzz.run ?jobs ~progress cfg in
     Printf.eprintf "\r%!";
-    Printf.printf "%-13s %5s %5s %5s %6s %5s %5s %5s %5s %5s %7s\n" "profile"
-      "progs" "lint" "rt" "trace" "dep" "acct" "cost" "fb" "ref" "viol";
+    Printf.printf "%-13s %5s %5s %5s %6s %5s %6s %5s %5s %5s %5s %7s\n"
+      "profile" "progs" "lint" "rt" "trace" "dep" "absint" "acct" "cost" "fb"
+      "ref" "viol";
     List.iter
       (fun (r : Harness.Job.fuzz) ->
-        Printf.printf "%-13s %5d %5d %5d %6d %5d %5d %5d %5d %2d/%-2d %7d\n"
+        Printf.printf
+          "%-13s %5d %5d %5d %6d %5d %6d %5d %5d %5d %2d/%-2d %7d\n"
           r.Harness.Job.z_profile r.Harness.Job.z_programs
           r.Harness.Job.z_lint_pass r.Harness.Job.z_roundtrip_pass
           r.Harness.Job.z_trace_pass r.Harness.Job.z_dep_pass
-          r.Harness.Job.z_acct_pass r.Harness.Job.z_cost_pass
-          r.Harness.Job.z_fb_bound_pass r.Harness.Job.z_ref_pass
-          r.Harness.Job.z_ref_checked r.Harness.Job.z_violations)
+          r.Harness.Job.z_absint_pass r.Harness.Job.z_acct_pass
+          r.Harness.Job.z_cost_pass r.Harness.Job.z_fb_bound_pass
+          r.Harness.Job.z_ref_pass r.Harness.Job.z_ref_checked
+          r.Harness.Job.z_violations)
       o.Fuzz.o_records;
     Printf.printf
       "fuzz: %d programs x %d levels (seed %d), %d oracle passes, %d \
@@ -771,9 +819,10 @@ let fuzz_cmd =
        ~doc:
          "Differential fuzzing over the synthetic corpus: every program \
           through every heuristic level with lint, round-trip, dep/sound, \
-          acct/conserve, cost, the fb cost bound and the frozen sim_ref \
-          cycle differential as oracles; violations are shrunk to a dumped \
-          reproducer and the exit status is non-zero")
+          the absint refinement audit, acct/conserve, cost, the fb cost \
+          bound and the frozen sim_ref cycle differential as oracles; \
+          violations are shrunk to a dumped reproducer and the exit status \
+          is non-zero")
     Term.(const run $ seed_arg $ n_arg $ profile_arg $ level_opt_arg
           $ ref_sample_arg $ jobs_arg $ out_arg $ fuzz_json_arg $ inject_arg)
 
@@ -975,8 +1024,8 @@ let daemon_cmd =
 let client_cmd =
   let op_arg =
     let doc =
-      "Operation: simulate, partition, deps, cost, breakdown, lint, fuzz, \
-       stats or shutdown."
+      "Operation: simulate, partition, deps, absint, cost, breakdown, \
+       lint, fuzz, stats or shutdown."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
   in
@@ -1072,7 +1121,8 @@ let main =
   Cmd.group info
     [
       list_cmd; run_cmd; breakdown_cmd; dump_cmd; lint_cmd; deps_cmd;
-      cost_cmd; trace_stats_cmd; fuzz_cmd; table1_cmd; figure5_cmd;
+      absint_cmd; cost_cmd; trace_stats_cmd; fuzz_cmd; table1_cmd;
+      figure5_cmd;
       bench_time_cmd; run_file_cmd;
       export_cmd; dot_cmd; superscalar_cmd; timeline_cmd;
       daemon_cmd; client_cmd;

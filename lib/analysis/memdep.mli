@@ -1,4 +1,4 @@
-(** Flow-insensitive address analysis for memory dependences.
+(** Static address analysis for memory dependences.
 
     The task-selection heuristics reason about register def-use chains;
     memory dependences between tasks are invisible to every static layer
@@ -31,7 +31,31 @@
     value is contained in its abstract value, hence every runtime effective
     address [base + disp] is contained in the site's {!site.region}.  The
     [dep/sound] lint rule re-checks this claim against the recorded dynamic
-    traces of the whole suite. *)
+    traces of the whole suite.
+
+    {2 Flow-sensitive refinement}
+
+    On top of the flow-insensitive result, {!analyze} runs the generic
+    {!Absint} worklist engine instantiated with per-register strided
+    intervals and a {e partitioned} abstract memory: one cell per disjoint
+    static region (the negative half-line, data-segment objects delimited
+    by address literals and initialised-run starts, the live stack below
+    the loader's [sp] and the untouched tail above it).  Loads join only
+    the cells their address region may touch; stores weak-update them.
+    The engine solves for block-entry register states against frozen
+    cells, the implied stores are folded back in, and the outer loop
+    repeats until memory stabilises (cells still moving past the round
+    budget are pinned to the flow-insensitive memory join, which is sound
+    and forces termination).
+
+    The refined per-site regions returned by {!sites} are clamped to the
+    flow-insensitive ones: a refined region is kept only when {!leq}
+    proves it a subset of the old region, otherwise the old region
+    survives — so the flow-insensitive analysis remains a mandatory
+    refinement bound ([absint/refines]) and the result can only get
+    sharper, never stranger.  The [absint/sound] lint rule grounds the
+    refined regions against recorded traces exactly like [dep/sound]
+    does for the flow-insensitive ones. *)
 
 (** {1 Values} *)
 
@@ -57,6 +81,20 @@ val may_intersect : value -> value -> bool
 (** Can the two sets share an element?  Over-approximate: [true] whenever
     the intervals overlap and the stride congruences are compatible; never
     [false] for sets with a real common element. *)
+
+val leq : value -> value -> bool
+(** Subset test: [leq a b] implies every element of [a] is in [b] (bound
+    containment plus stride congruence).  Conservative: [false] answers
+    are allowed and only cost precision, never soundness. *)
+
+val contains : value -> int -> bool
+(** Membership of a concrete machine word.  Never [false] for a word the
+    abstract value covers. *)
+
+val width : value -> int option
+(** Number of concrete values in the set, when finite and representable:
+    [Some 0] for {!bot}, [None] for unbounded regions (or spans so wide
+    the count itself would overflow). *)
 
 val is_top : value -> bool
 val is_bot : value -> bool
@@ -95,12 +133,37 @@ type site = {
 
 val sites : t -> string -> site list
 (** All memory-access sites of the named function, in block/index order.
-    Empty for unknown functions.  Regions are sharpened block-locally:
-    within a basic block the transfer function is re-applied with strong
-    updates starting from the global env, so an address materialised by an
-    earlier instruction of the same block ([li addr; store]) yields its
-    exact strided interval instead of the whole-program join (which always
-    contains the loader's zero seed). *)
+    Empty for unknown functions.  Regions are the {e refined} ones: the
+    flow-sensitive {!Absint} solution replayed with strong updates from
+    each block's entry state, clamped per site to the flow-insensitive
+    region (the refinement bound) — an unreachable block's sites carry
+    {!bot}. *)
+
+val fi_sites : t -> string -> site list
+(** The flow-insensitive baseline sites: same functions, same site order
+    and skeleton as {!sites}, regions computed from the whole-program
+    join with block-local strong-update sharpening only.  Every region
+    returned by {!sites} satisfies [leq refined fi]. *)
+
+val partition : t -> value array
+(** The disjoint static regions of the partitioned abstract memory, in
+    ascending address order; their union covers every integer. *)
+
+val cell_values : t -> value array
+(** Abstract content of each partition cell ([partition]-indexed): the
+    join of the initial data segment, the uninitialised-read zero and
+    every value the program may store into the cell's region. *)
+
+type ai_stats = {
+  updates : int;  (** accepted state updates in the ascending pass *)
+  widenings : int;  (** updates that went through widening *)
+  narrowed : int;  (** states refined by the descending passes *)
+  outer_rounds : int;  (** solve/accumulate iterations of the cell loop *)
+  saturated_cells : int;  (** cells pinned to the flow-insensitive join *)
+}
+
+val ai_stats : t -> ai_stats
+(** Diagnostics of the flow-sensitive refinement (last engine run). *)
 
 val classify : t -> value -> [ `Data | `Stack | `Any ]
 (** Coarse base-region classification of an address set: entirely inside

@@ -317,9 +317,14 @@ let closure prog =
   in
   reach
 
-let analyze (plan : Partition.plan) =
+let analyze ?(fi = false) ?summary (plan : Partition.plan) =
   let prog = plan.Partition.prog in
-  let summary = Analysis.Memdep.analyze ~sp:Interp.Run.initial_sp prog in
+  let summary =
+    match summary with
+    | Some s -> s
+    | None -> Analysis.Memdep.analyze ~sp:Interp.Run.initial_sp prog
+  in
+  let site_fn = if fi then Analysis.Memdep.fi_sites else Analysis.Memdep.sites in
   let reach = closure prog in
   (* per-function region groupings *)
   let by_blk = Hashtbl.create 16 in
@@ -345,7 +350,7 @@ let analyze (plan : Partition.plan) =
               s.Analysis.Memdep.region :: ld.(s.Analysis.Memdep.blk);
             all_ld := s.Analysis.Memdep.region :: !all_ld
           end)
-        (Analysis.Memdep.sites summary fname);
+        (site_fn summary fname);
       Hashtbl.replace by_blk fname (st, ld);
       Hashtbl.replace func_regions fname
         (dedup_regions !all_st, dedup_regions !all_ld))

@@ -48,7 +48,13 @@ type reg_edge = {
 
 type t
 
-val analyze : Partition.plan -> t
+val analyze : ?fi:bool -> ?summary:Analysis.Memdep.t -> Partition.plan -> t
+(** Derive the edges.  [fi] (default [false]) selects the flow-insensitive
+    baseline site regions ({!Analysis.Memdep.fi_sites}) instead of the
+    refined ones — the before/after switch the precision report compares.
+    [summary] reuses an existing address analysis of the plan's program
+    (one {!Analysis.Memdep.analyze} run yields both site tables) instead
+    of recomputing it. *)
 
 val exposed_reads :
   Ir.Func.t -> Task.partition -> (int * Ir.Reg.t * int) list

@@ -243,6 +243,8 @@ let check_value config ~profile ~index ~seed prog =
               let trace = out.Interp.Run.trace in
               check ~level:ltag ~oracle:"trace" (Lint.check_trace trace);
               check ~level:ltag ~oracle:"dep" (Lint.check_deps plan trace);
+              check ~level:ltag ~oracle:"absint"
+                (Lint.check_absint plan trace);
               List.iter
                 (fun (num_pus, in_order) ->
                   let cfg = Sim.Config.default ~num_pus ~in_order in
@@ -331,6 +333,7 @@ let records_of_reports config reports =
         z_roundtrip_pass = count (pass "roundtrip");
         z_trace_pass = count (fun r -> pass "trace" r && pass "crash" r);
         z_dep_pass = count (fun r -> pass "dep" r && pass "crash" r);
+        z_absint_pass = count (fun r -> pass "absint" r && pass "crash" r);
         z_acct_pass = count (fun r -> pass "acct" r && pass "crash" r);
         z_cost_pass = count (pass "cost");
         z_fb_bound_pass = count (pass "fb-bound");

@@ -12,6 +12,9 @@
     - [trace]: {!Lint.check_trace} — the packed trace decodes cleanly;
     - [dep]: {!Lint.check_deps} — zero [dep/sound] violations, [dep/reg]
       agreement;
+    - [absint]: {!Lint.check_absint} — every traced address inside its
+      refined abstract region, and the refinement never looser than the
+      flow-insensitive bound;
     - [acct]: {!Lint.check_account} — cycle conservation exact on every
       machine shape simulated;
     - [cost]: {!Lint.check_cost} — predicted shares conserve and rederive
@@ -48,8 +51,8 @@ type violation = {
   v_seed : int;  (** per-program generator seed ({!Workloads.Synth.program_seed}) *)
   v_level : string;  (** level tag, or ["-"] for program-wide oracles *)
   v_oracle : string;  (** ["lint"], ["roundtrip"], ["crash"], ["plan"],
-                          ["trace"], ["dep"], ["acct"], ["cost"],
-                          ["fb-bound"] or ["ref-diff"] *)
+                          ["trace"], ["dep"], ["absint"], ["acct"],
+                          ["cost"], ["fb-bound"] or ["ref-diff"] *)
   v_detail : string;
 }
 

@@ -145,6 +145,14 @@ let conserved a =
 
 (* --- static dependence summaries ------------------------------------------- *)
 
+type wide_site = {
+  w_fn : string;
+  w_blk : int;
+  w_idx : int;
+  w_store : bool;
+  w_width : int;
+}
+
 type dep = {
   d_workload : string;
   d_kind : Workloads.Registry.kind;
@@ -152,16 +160,70 @@ type dep = {
   d_tasks : int;
   d_reg_edges : int;
   d_mem_edges : int;
+  d_fi_mem_edges : int;
   d_store_sites : int;
   d_load_sites : int;
+  d_unbounded_sites : int;
+  d_fi_unbounded_sites : int;
+  d_widest : wide_site list;
   d_observed : int;
   d_predicted_hit : int;
   d_dyn_flows : int;
 }
 
+let widest_n = 5
+
+(* Widest refined sites first; unbounded regions (width -1) outrank any
+   finite count, ties broken by site identity for determinism. *)
+let wide_compare a b =
+  let rank w = if w.w_width < 0 then max_int else w.w_width in
+  match compare (rank b) (rank a) with
+  | 0 -> compare (a.w_fn, a.w_blk, a.w_idx) (b.w_fn, b.w_blk, b.w_idx)
+  | c -> c
+
+let precision_of_summary prog summary =
+  let unbounded = ref 0 and fi_unbounded = ref 0 and wides = ref [] in
+  List.iter
+    (fun fname ->
+      List.iter2
+        (fun (s : Analysis.Memdep.site) (f : Analysis.Memdep.site) ->
+          (match Analysis.Memdep.width f.Analysis.Memdep.region with
+          | None -> incr fi_unbounded
+          | Some _ -> ());
+          let w =
+            match Analysis.Memdep.width s.Analysis.Memdep.region with
+            | None ->
+              incr unbounded;
+              -1
+            | Some w -> w
+          in
+          wides :=
+            {
+              w_fn = fname;
+              w_blk = s.Analysis.Memdep.blk;
+              w_idx = s.Analysis.Memdep.idx;
+              w_store = s.Analysis.Memdep.store;
+              w_width = w;
+            }
+            :: !wides)
+        (Analysis.Memdep.sites summary fname)
+        (Analysis.Memdep.fi_sites summary fname))
+    (Ir.Prog.func_names prog);
+  let widest =
+    List.filteri
+      (fun i _ -> i < widest_n)
+      (List.sort wide_compare !wides)
+  in
+  (!unbounded, !fi_unbounded, widest)
+
 let dep_of_artifact (art : Artifact.artifact) =
   let plan = art.Artifact.plan and trace = art.Artifact.trace in
   let dep = Core.Depend.analyze plan in
+  let summary = Core.Depend.summary dep in
+  let fi_dep = Core.Depend.analyze ~fi:true ~summary plan in
+  let unbounded, fi_unbounded, widest =
+    precision_of_summary plan.Core.Partition.prog summary
+  in
   let parts =
     Array.map
       (fun name -> Ir.Prog.Smap.find name plan.Core.Partition.parts)
@@ -191,8 +253,12 @@ let dep_of_artifact (art : Artifact.artifact) =
     d_tasks = Core.Depend.num_tasks dep;
     d_reg_edges = List.length (Core.Depend.reg_edges dep);
     d_mem_edges = List.length (Core.Depend.mem_edges dep);
+    d_fi_mem_edges = List.length (Core.Depend.mem_edges fi_dep);
     d_store_sites = Core.Depend.num_store_sites dep;
     d_load_sites = Core.Depend.num_load_sites dep;
+    d_unbounded_sites = unbounded;
+    d_fi_unbounded_sites = fi_unbounded;
+    d_widest = widest;
     d_observed = List.length observed;
     d_predicted_hit = hits;
     d_dyn_flows = flows;
@@ -320,8 +386,24 @@ let dep_to_json d =
       ("tasks", Json.Int d.d_tasks);
       ("reg_edges", Json.Int d.d_reg_edges);
       ("mem_edges", Json.Int d.d_mem_edges);
+      ("fi_mem_edges", Json.Int d.d_fi_mem_edges);
       ("store_sites", Json.Int d.d_store_sites);
       ("load_sites", Json.Int d.d_load_sites);
+      ("unbounded_sites", Json.Int d.d_unbounded_sites);
+      ("fi_unbounded_sites", Json.Int d.d_fi_unbounded_sites);
+      ( "widest",
+        Json.List
+          (List.map
+             (fun w ->
+               Json.Obj
+                 [
+                   ("fn", Json.String w.w_fn);
+                   ("blk", Json.Int w.w_blk);
+                   ("idx", Json.Int w.w_idx);
+                   ("store", Json.Bool w.w_store);
+                   ("width", Json.Int w.w_width);
+                 ])
+             d.d_widest) );
       ("observed", Json.Int d.d_observed);
       ("predicted_hit", Json.Int d.d_predicted_hit);
       ("dyn_flows", Json.Int d.d_dyn_flows);
@@ -354,6 +436,7 @@ type fuzz = {
   z_roundtrip_pass : int;
   z_trace_pass : int;
   z_dep_pass : int;
+  z_absint_pass : int;
   z_acct_pass : int;
   z_cost_pass : int;
   z_fb_bound_pass : int;
@@ -374,6 +457,7 @@ let fuzz_to_json z =
       ("roundtrip_pass", Json.Int z.z_roundtrip_pass);
       ("trace_pass", Json.Int z.z_trace_pass);
       ("dep_pass", Json.Int z.z_dep_pass);
+      ("absint_pass", Json.Int z.z_absint_pass);
       ("acct_pass", Json.Int z.z_acct_pass);
       ("cost_pass", Json.Int z.z_cost_pass);
       ("fb_bound_pass", Json.Int z.z_fb_bound_pass);

@@ -120,6 +120,17 @@ val conserved : account -> bool
     materialise).  These records feed the bench [deps] section
     ([bench/deps.json]) and the [msc deps] subcommand. *)
 
+(** One memory site in the [d_widest] precision ranking.  [w_width] is the
+    number of distinct addresses the refined region admits, [-1] when the
+    region is unbounded ({!Analysis.Memdep.width} returned [None]). *)
+type wide_site = {
+  w_fn : string;
+  w_blk : int;
+  w_idx : int;
+  w_store : bool;
+  w_width : int;
+}
+
 type dep = {
   d_workload : string;
   d_kind : Workloads.Registry.kind;
@@ -127,12 +138,27 @@ type dep = {
   d_tasks : int;           (** static tasks across the plan *)
   d_reg_edges : int;       (** cross-task register def-use edges *)
   d_mem_edges : int;       (** predicted store-task → load-task pairs *)
+  d_fi_mem_edges : int;    (** same, from the flow-insensitive baseline
+                               regions ({!Analysis.Memdep.fi_sites}) — the
+                               gap to [d_mem_edges] is what the
+                               {!Analysis.Absint} refinement pruned *)
   d_store_sites : int;     (** static store sites the regions summarise *)
   d_load_sites : int;
+  d_unbounded_sites : int; (** refined sites with no finite region width *)
+  d_fi_unbounded_sites : int;  (** baseline sites with no finite width *)
+  d_widest : wide_site list;   (** top-5 widest refined sites, widest first
+                                   (unbounded outranks any finite width) *)
   d_observed : int;        (** distinct observed store→load task pairs *)
   d_predicted_hit : int;   (** observed pairs the analyzer predicted *)
   d_dyn_flows : int;       (** dynamic load occurrences behind [d_observed] *)
 }
+
+val precision_of_summary :
+  Ir.Prog.t -> Analysis.Memdep.t -> int * int * wide_site list
+(** [(unbounded, fi_unbounded, widest)] over every memory site of the
+    program: refined and baseline sites with no finite region width, and
+    the top-5 widest refined sites.  Shared by {!dep_of_artifact} and the
+    precision report. *)
 
 val dep_of_artifact : Artifact.artifact -> dep
 (** Analyze the artifact's plan and replay its trace.  Not memoized — the
@@ -203,6 +229,7 @@ type fuzz = {
   z_roundtrip_pass : int;  (** programs whose textual round-trip is exact *)
   z_trace_pass : int;      (** programs whose packed traces decode cleanly *)
   z_dep_pass : int;        (** programs with dep/sound + dep/reg clean *)
+  z_absint_pass : int;     (** programs with absint/sound + absint/refines clean *)
   z_acct_pass : int;       (** programs with acct/conserve exact *)
   z_cost_pass : int;       (** programs with cost/conserve clean *)
   z_fb_bound_pass : int;   (** programs where fb static cost <= ts seed *)

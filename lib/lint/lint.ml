@@ -746,6 +746,8 @@ let () =
       ("dep/sound", "observed cross-task memory dependence not predicted");
       ("dep/reg", "Depend register edges diverge from Regcomm recomputation");
       ("cost/conserve", "predicted cost shares violate conservation");
+      ("absint/sound", "trace address escapes the refined abstract region");
+      ("absint/refines", "refined site region exceeds its flow-insensitive bound");
     ]
 
 (* --- textual round-trip audit ----------------------------------------------- *)
@@ -1075,6 +1077,120 @@ let first_error_message ds =
 let validate_plan_deps plan = first_error_message (check_deps_static plan)
 let () = Core.Partition.set_dep_validator validate_plan_deps
 
+(* --- flow-sensitive refinement audit ---------------------------------------- *)
+
+(* absint/sound mirrors dep/sound one level lower: dep/sound grounds the
+   task-pair EDGES against observed flows, this grounds the per-site
+   address REGIONS themselves — every address a trace event records must
+   be contained in the refined region of the corresponding static site
+   (the k-th address of an event belongs to the k-th memory instruction of
+   the executed block).  absint/refines audits the refinement-bound
+   plumbing: site for site, the refined region must be a provable subset
+   of the flow-insensitive one, and both tables must share the same
+   skeleton (block, index, kind). *)
+let check_absint (plan : Core.Partition.plan) trace =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let prog = plan.Core.Partition.prog in
+  let summary = Analysis.Memdep.analyze ~sp:Interp.Run.initial_sp prog in
+  (* refinement bound, site for site *)
+  List.iter
+    (fun fname ->
+      let refined = Analysis.Memdep.sites summary fname in
+      let fi = Analysis.Memdep.fi_sites summary fname in
+      if List.length refined <> List.length fi then
+        add
+          (Diag.error ~rule:"absint/refines" (Diag.in_func fname)
+             "refined site table has %d sites where the flow-insensitive \
+              one has %d"
+             (List.length refined) (List.length fi))
+      else
+        List.iter2
+          (fun (r : Analysis.Memdep.site) (f : Analysis.Memdep.site) ->
+            if
+              r.Analysis.Memdep.blk <> f.Analysis.Memdep.blk
+              || r.Analysis.Memdep.idx <> f.Analysis.Memdep.idx
+              || r.Analysis.Memdep.store <> f.Analysis.Memdep.store
+            then
+              add
+                (Diag.error ~rule:"absint/refines"
+                   (Diag.in_func ~block:r.Analysis.Memdep.blk
+                      ~insn:r.Analysis.Memdep.idx fname)
+                   "refined and flow-insensitive site skeletons diverge")
+            else if
+              not
+                (Analysis.Memdep.leq r.Analysis.Memdep.region
+                   f.Analysis.Memdep.region)
+            then
+              add
+                (Diag.error ~rule:"absint/refines"
+                   (Diag.in_func ~block:r.Analysis.Memdep.blk
+                      ~insn:r.Analysis.Memdep.idx fname)
+                   "refined region %s is not a subset of the \
+                    flow-insensitive bound %s"
+                   (Analysis.Memdep.value_to_string r.Analysis.Memdep.region)
+                   (Analysis.Memdep.value_to_string f.Analysis.Memdep.region)))
+          refined fi)
+    (Ir.Prog.func_names prog);
+  (* trace grounding of the refined regions *)
+  let regions_of = Hashtbl.create 16 in
+  List.iter
+    (fun fname ->
+      let nb = Ir.Func.num_blocks (Ir.Prog.find prog fname) in
+      let per_blk = Array.make nb [] in
+      List.iter
+        (fun (s : Analysis.Memdep.site) ->
+          per_blk.(s.Analysis.Memdep.blk) <-
+            s.Analysis.Memdep.region :: per_blk.(s.Analysis.Memdep.blk))
+        (Analysis.Memdep.sites summary fname);
+      (* sites arrive in block/idx order, so each bucket reverses back *)
+      Hashtbl.replace regions_of fname
+        (Array.map (fun l -> Array.of_list (List.rev l)) per_blk))
+    (Ir.Prog.func_names prog);
+  let bad = Hashtbl.create 16 in
+  let fnames = trace.Interp.Trace.fnames in
+  let n = Interp.Trace.num_events trace in
+  (try
+     for i = 0 to n - 1 do
+       if Interp.Trace.addr_count trace i > 0 then begin
+         let fname = fnames.(Interp.Trace.get_fid trace i) in
+         let blk = Interp.Trace.get_blk trace i in
+         let regs =
+           match Hashtbl.find_opt regions_of fname with
+           | Some per_blk when blk < Array.length per_blk -> per_blk.(blk)
+           | _ -> [||]
+         in
+         let k = ref 0 in
+         Interp.Trace.iter_addrs trace i (fun addr ->
+             (if !k >= Array.length regs then
+                add
+                  (Diag.error ~rule:"absint/sound"
+                     (Diag.in_func ~block:blk fname)
+                     "trace event has more addresses than the block has \
+                      static memory sites")
+              else if not (Analysis.Memdep.contains regs.(!k) addr) then
+                let key = (fname, blk, !k) in
+                match Hashtbl.find_opt bad key with
+                | Some (cnt, a0) -> Hashtbl.replace bad key (cnt + 1, a0)
+                | None -> Hashtbl.replace bad key (1, addr));
+             incr k)
+       end
+     done
+   with Invalid_argument _ ->
+     add
+       (Diag.error ~rule:"absint/sound" Diag.program_loc
+          "trace names a function or block outside the analyzed program"));
+  Hashtbl.iter
+    (fun (fname, blk, k) (cnt, addr) ->
+      add
+        (Diag.error ~rule:"absint/sound"
+           (Diag.in_func ~block:blk ~insn:k fname)
+           "address %d escapes the refined region of memory site %d (%d \
+            dynamic occurrences)"
+           addr k cnt))
+    bad;
+  List.sort Diag.compare !ds
+
 (* --- static cost model ------------------------------------------------------ *)
 
 (* cost/conserve: the predicted cycle-account shares form a well-formed
@@ -1145,6 +1261,7 @@ let check_suite ?jobs ?(levels = Core.Heuristics.all_levels) ~store entries =
           check_plan art.Harness.Artifact.plan
           @ check_trace art.Harness.Artifact.trace
           @ check_deps art.Harness.Artifact.plan art.Harness.Artifact.trace
+          @ check_absint art.Harness.Artifact.plan art.Harness.Artifact.trace
           @ check_cost art.Harness.Artifact.plan
           @ List.concat_map
               (fun (num_pus, in_order) ->

@@ -100,6 +100,22 @@ val check_deps : Core.Partition.plan -> Interp.Trace.t -> Diag.t list
 
     Assumes a structurally valid plan (gate on {!check_plan} first). *)
 
+val check_absint : Core.Partition.plan -> Interp.Trace.t -> Diag.t list
+(** Flow-sensitive refinement audit ([absint/*] rules) of
+    {!Analysis.Memdep} over the plan's program:
+
+    - [absint/sound]: every address the packed trace records must be
+      contained ({!Analysis.Memdep.contains}) in the refined region of
+      the corresponding static memory site — the trace grounding of the
+      {!Analysis.Absint} instantiation, one level below [dep/sound]'s
+      edge check;
+    - [absint/refines]: site for site, the refined region must be a
+      provable subset ({!Analysis.Memdep.leq}) of the flow-insensitive
+      one, and the two site tables must share the same skeleton — the
+      old analysis is a mandatory refinement bound, never regressed past.
+
+    Assumes a structurally valid plan (gate on {!check_plan} first). *)
+
 val check_deps_static : Core.Partition.plan -> Diag.t list
 (** The [dep/reg] half of {!check_deps} alone — no trace required.  This
     is what {!Core.Partition.validate_deps} delegates to; the

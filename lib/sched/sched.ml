@@ -106,9 +106,12 @@ let find_task t id rng =
 
 let exec t task =
   (* submit wraps every task so it cannot raise; the catch-all keeps a
-     raw task from killing its worker domain regardless *)
-  (try task () with _ -> ());
-  Atomic.incr t.m_tasks
+     raw task from killing its worker domain regardless.  Count before
+     running: the task resolves its future inside [task ()], so bumping
+     afterwards would let a waiter observe the result (and read [stats])
+     before the counter reflects the task. *)
+  Atomic.incr t.m_tasks;
+  try task () with _ -> ()
 
 let rec worker_loop t id rng =
   if Atomic.get t.stop then ()

@@ -9,6 +9,7 @@ type op =
     }
   | Partition of { workload : string; level : Core.Heuristics.level }
   | Deps of { workload : string; level : Core.Heuristics.level }
+  | Absint of { workload : string; level : Core.Heuristics.level }
   | Cost of { workload : string; level : Core.Heuristics.level }
   | Breakdown of {
       workload : string;
@@ -74,6 +75,9 @@ let parse_request line =
     | "deps" ->
       let* workload, level = workload_level json in
       Ok (Deps { workload; level })
+    | "absint" ->
+      let* workload, level = workload_level json in
+      Ok (Absint { workload; level })
     | "cost" ->
       let* workload, level = workload_level json in
       Ok (Cost { workload; level })
@@ -124,6 +128,7 @@ let op_to_json op =
       [ ("num_pus", Json.Int num_pus); ("in_order", Json.Bool in_order) ]
   | Partition { workload; level } -> wl "partition" workload level []
   | Deps { workload; level } -> wl "deps" workload level []
+  | Absint { workload; level } -> wl "absint" workload level []
   | Cost { workload; level } -> wl "cost" workload level []
   | Breakdown { workload; level; num_pus; in_order } ->
     wl "breakdown" workload level

@@ -10,8 +10,8 @@
      "num_pus": 8, "in_order": false}
     v}
 
-    Operations [simulate], [partition], [deps], [cost], [breakdown] and
-    [lint] address one (workload, heuristic level) pipeline — levels use
+    Operations [simulate], [partition], [deps], [absint], [cost],
+    [breakdown] and [lint] address one (workload, heuristic level) pipeline — levels use
     the {!Harness.Job.level_tag} encoding; [num_pus] (default 8) and
     [in_order] (default false) further select the machine for
     [simulate]/[breakdown].  [fuzz] runs a synthetic-corpus sweep through
@@ -34,6 +34,7 @@ type op =
     }
   | Partition of { workload : string; level : Core.Heuristics.level }
   | Deps of { workload : string; level : Core.Heuristics.level }
+  | Absint of { workload : string; level : Core.Heuristics.level }
   | Cost of { workload : string; level : Core.Heuristics.level }
   | Breakdown of {
       workload : string;

@@ -104,6 +104,9 @@ let handle_op t (op : Protocol.op) : Json.t =
   | Protocol.Deps { workload; level } ->
     let _, art = artifact t ~workload ~level in
     Job.dep_to_json (Job.dep_of_artifact art)
+  | Protocol.Absint { workload; level } ->
+    let _, art = artifact t ~workload ~level in
+    Report.Precision.to_json [ Report.Precision.row_of_artifact art ]
   | Protocol.Cost { workload; level } ->
     let _, art = artifact t ~workload ~level in
     Job.cost_to_json (Job.cost_of_artifact art)

@@ -45,6 +45,76 @@ let test_iv_unbounded () =
   checkb "(-inf,5] meets 5" true (M.may_intersect below (M.singleton 5));
   checkb "join to top" true (M.is_top (M.join below (M.range 0 max_int)))
 
+let test_iv_width () =
+  checkb "width of bot" true (M.width M.bot = Some 0);
+  checkb "width of a singleton" true (M.width (M.singleton 7) = Some 1);
+  checkb "width of a strided range" true
+    (M.width (M.range ~stride:4 0 36) = Some 10);
+  checkb "width of top" true (M.width M.top = None);
+  checkb "width of a half line" true (M.width (M.range min_int 5) = None)
+
+(* --- rail boundary properties (min_int/max_int hardening) ------------------- *)
+
+(* The arithmetic inside mk/join/may_intersect/leq runs close to the
+   min_int/max_int sentinels whenever a region touches a rail; these
+   generators keep the operands there on purpose.  Every property is a
+   set-semantics fact that naive (wrapping) interval arithmetic breaks. *)
+
+let rail_int_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl [ min_int; min_int + 1; max_int - 1; max_int; 0; 1; -1 ];
+        map (fun k -> max_int - (k land 0xff)) int;
+        map (fun k -> min_int + (k land 0xff)) int;
+        small_signed_int;
+      ])
+
+let value_gen =
+  QCheck.Gen.(
+    pair (pair rail_int_gen rail_int_gen) int
+    |> map (fun ((x, y), s) ->
+           M.range ~stride:(1 + (s land 7)) (min x y) (max x y)))
+
+let arbitrary_value = QCheck.make ~print:M.value_to_string value_gen
+
+let arbitrary_value_pair =
+  QCheck.make
+    ~print:(fun (x, y) ->
+      M.value_to_string x ^ " / " ^ M.value_to_string y)
+    QCheck.Gen.(pair value_gen value_gen)
+
+let prop_join_upper_bound =
+  QCheck.Test.make ~count:500 ~name:"join is an upper bound on the rails"
+    arbitrary_value_pair (fun (x, y) ->
+      let j = M.join x y in
+      M.leq x j && M.leq y j)
+
+let prop_leq_reflexive =
+  QCheck.Test.make ~count:500 ~name:"leq is reflexive on the rails"
+    arbitrary_value (fun x -> M.leq x x)
+
+let prop_contains_implies_intersect =
+  QCheck.Test.make ~count:500
+    ~name:"shared member implies may_intersect on the rails"
+    (QCheck.pair arbitrary_value_pair (QCheck.make rail_int_gen))
+    (fun ((x, y), p) ->
+      QCheck.assume (M.contains x p && M.contains y p);
+      M.may_intersect x y)
+
+let prop_width_nonnegative =
+  QCheck.Test.make ~count:500 ~name:"width stays defined on the rails"
+    arbitrary_value (fun x ->
+      match M.width x with Some w -> w >= 0 | None -> true)
+
+let prop_join_contains_endpoints =
+  QCheck.Test.make ~count:500
+    ~name:"join of rail singletons contains both points"
+    (QCheck.pair (QCheck.make rail_int_gen) (QCheck.make rail_int_gen))
+    (fun (x, y) ->
+      let j = M.join (M.singleton x) (M.singleton y) in
+      M.contains j x && M.contains j y)
+
 (* --- whole-program address analysis ---------------------------------------- *)
 
 let a = Ir.Reg.tmp 0
@@ -135,14 +205,18 @@ let test_no_alias_edge () =
   checkb "distinct cells -> no edge" false (predicts ~store_off:3 ~load_off:5)
 
 (* Diamond writing through a register that is {base, base+2} (stride 2
-   after the flow-insensitive join); a load at base+1 sits between the two
+   after the join of the two arms); a load at base+1 sits between the two
    but on the wrong congruence class, so no edge may be predicted — the
-   stride, not just the bounds, carries the precision. *)
+   stride, not just the bounds, carries the precision.  The branch
+   condition must be statically opaque ([Rem] falls to top): a constant
+   condition lets the flow-sensitive refinement prove one arm dead and
+   collapse the store region to a singleton, which tests something else. *)
 let stride_prog ~load_off =
   let pb = Ir.Builder.program () in
   let base = Ir.Builder.data_ints pb [ 0; 0; 0; 0 ] in
   Ir.Builder.func pb "main" (fun b ->
-      Ir.Builder.li b c 1;
+      Ir.Builder.li b c 3;
+      Ir.Builder.bin b Ir.Insn.Rem c c (Ir.Insn.Imm 2);
       Ir.Builder.if_ b c
         (fun b -> Ir.Builder.li b a base)
         (fun b -> Ir.Builder.li b a (base + 2));
@@ -253,6 +327,15 @@ let () =
           Alcotest.test_case "stride congruence" `Quick test_iv_stride_disjoint;
           Alcotest.test_case "join" `Quick test_iv_join;
           Alcotest.test_case "unbounded ends" `Quick test_iv_unbounded;
+          Alcotest.test_case "width" `Quick test_iv_width;
+        ] );
+      ( "rails",
+        [
+          QCheck_alcotest.to_alcotest prop_join_upper_bound;
+          QCheck_alcotest.to_alcotest prop_leq_reflexive;
+          QCheck_alcotest.to_alcotest prop_contains_implies_intersect;
+          QCheck_alcotest.to_alcotest prop_width_nonnegative;
+          QCheck_alcotest.to_alcotest prop_join_contains_endpoints;
         ] );
       ( "analyze",
         [ Alcotest.test_case "literal site regions" `Quick test_analyze_sites ] );

@@ -33,6 +33,13 @@ let test_protocol_parse () =
   (match P.parse_request {|{"op": "stats"}|} with
   | Ok { P.id = Json.Null; op = P.Stats } -> ()
   | _ -> Alcotest.fail "stats did not parse");
+  (match
+     P.parse_request {|{"op": "absint", "workload": "compress", "level": "dd"}|}
+   with
+  | Ok { P.op = P.Absint a; _ } ->
+    checkb "absint workload" true (a.workload = "compress");
+    checkb "absint level" true (a.level = Core.Heuristics.Data_dependence)
+  | _ -> Alcotest.fail "absint did not parse");
   let is_error s =
     match P.parse_request s with Error _ -> true | Ok _ -> false
   in
@@ -135,6 +142,17 @@ let test_service_stats_and_drain () =
       | Error msg -> Alcotest.fail msg);
       (match Service.Client.request c op with
       | Ok resp -> checkb "dedup hit" true (field "dedup" resp = Json.Bool true)
+      | Error msg -> Alcotest.fail msg);
+      (match
+         Service.Client.request c
+           (P.Absint
+              { workload = "compress"; level = Core.Heuristics.Control_flow })
+       with
+      | Ok resp ->
+        checkb "absint result has a precision row" true
+          (match Json.member "precision" (field "result" resp) with
+          | Some (Json.List [ _ ]) -> true
+          | _ -> false)
       | Error msg -> Alcotest.fail msg);
       (match Service.Client.request c P.Stats with
       | Error msg -> Alcotest.fail msg

@@ -158,6 +158,28 @@ let test_golden name =
         path
         (List.length r.Fuzz.p_violations))
 
+(* Shrunken fixed-bug regressions: programs the fuzzer once flagged and
+   whose analysis bug has since been fixed — every oracle must stay
+   clean.  [absint-operand-clobber]: a compare whose destination is also
+   its own right operand ([sgt t11, t5, t11]); the branch refinement used
+   to read the operand's block-exit value (the 0/1 result) and prove the
+   live arm dead. *)
+let test_golden_clean name =
+  let path = Filename.concat "golden/fuzz" (name ^ ".ir") in
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Ir.Parse.program text with
+  | Error e -> Alcotest.failf "%s does not parse: %s" path e
+  | Ok p -> (
+    let r = Fuzz.check_value cfg ~profile:"golden" ~index:0 ~seed:0 p in
+    match r.Fuzz.p_violations with
+    | [] -> ()
+    | v :: _ ->
+      Alcotest.failf "%s regressed: %s (+%d more)" path
+        (Fuzz.violation_text v)
+        (List.length r.Fuzz.p_violations - 1))
+
 (* --- fuzz records survive the dual-shape results.json ------------------------ *)
 
 let test_fuzz_export_shape () =
@@ -171,6 +193,7 @@ let test_fuzz_export_shape () =
       z_roundtrip_pass = 3;
       z_trace_pass = 3;
       z_dep_pass = 3;
+      z_absint_pass = 3;
       z_acct_pass = 3;
       z_cost_pass = 3;
       z_fb_bound_pass = 3;
@@ -233,5 +256,7 @@ let () =
               test_golden "div0-loopy");
           Alcotest.test_case "div0-deep-calls reproducer" `Quick (fun () ->
               test_golden "div0-deep-calls");
+          Alcotest.test_case "absint-operand-clobber stays clean" `Quick
+            (fun () -> test_golden_clean "absint-operand-clobber");
         ] );
     ]

@@ -20,6 +20,7 @@
 #
 #   dune build @bench-smoke   # table1 + trace + account sections
 #   dune build @deps-smoke    # static-dependence soundness section
+#   dune build @absint-smoke  # flow-sensitive refinement precision section
 #   dune build @cost-smoke    # static cost-model quality section
 #   dune build @fuzz-smoke    # differential fuzzing over the synth corpus
 #   dune build @lint          # static verification of every plan
@@ -38,6 +39,7 @@ step tests dune runtest
 step lint dune build @lint
 step bench env HARNESS_JOBS=1 dune exec bench/main.exe -- table1 trace account
 step deps env HARNESS_JOBS=1 dune exec bench/main.exe -- deps
+step absint env HARNESS_JOBS=1 dune exec bench/main.exe -- absint
 step cost env HARNESS_JOBS=1 dune exec bench/main.exe -- cost
 # differential fuzzing, fail-fast: a fixed 200-program corpus through every
 # level with the full oracle stack; on any violation msc fuzz shrinks the
@@ -90,6 +92,42 @@ for d in bad[:10]:
 if bad:
     sys.exit(1)
 print("smoke: dep soundness re-verified for %d records" % len(deps))
+EOF
+  fi
+}
+
+# and for the precision export: the refinement bound must hold row by row
+# (refined mem edges never above the flow-insensitive baseline) and the
+# suite-wide refinement must actually prune something
+check_absint_json() {
+  grep -q '"precision":' bench/absint.json || {
+    echo "smoke: bench/absint.json missing precision rows" >&2
+    return 1
+  }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json, sys
+doc = json.load(open("bench/absint.json"))
+rows = doc["precision"]
+bad = [r for r in rows if r["mem_edges"] > r["fi_mem_edges"]
+       or r["pruned"] != r["fi_mem_edges"] - r["mem_edges"]]
+for r in bad[:10]:
+    print("smoke: absint/refines violated: %s %s (%d > %d)" %
+          (r["workload"], r["level"], r["mem_edges"], r["fi_mem_edges"]),
+          file=sys.stderr)
+if bad:
+    sys.exit(1)
+fi = sum(r["fi_mem_edges"] for r in rows)
+ab = sum(r["mem_edges"] for r in rows)
+total = doc["total"]
+if (fi, ab) != (total["fi_mem_edges"], total["mem_edges"]):
+    sys.exit("smoke: absint totals disagree with rows: %d/%d vs %s" %
+             (fi, ab, total))
+if ab >= fi:
+    sys.exit("smoke: refinement pruned nothing suite-wide (%d >= %d)" %
+             (ab, fi))
+print("smoke: absint precision re-verified for %d rows: %d -> %d mem edges"
+      % (len(rows), fi, ab))
 EOF
   fi
 }
@@ -148,6 +186,7 @@ EOF
 
 step account-json check_account_json
 step deps-json check_deps_json
+step absint-json check_absint_json
 step cost-json check_cost_json
 
 # service smoke: boot the mscd daemon on a throwaway socket, drive it with
